@@ -1,0 +1,181 @@
+// Benchmarks regenerating every table and figure of the RouteBricks
+// evaluation. Each benchmark runs the corresponding experiment and
+// reports its headline quantity as a custom metric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the reproduced numbers alongside the usual ns/op. The analytic
+// experiments are instantaneous; the RB4 discrete-event experiments
+// simulate a few virtual milliseconds per iteration.
+package routebricks
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"routebricks/internal/experiments"
+	"routebricks/internal/hw"
+)
+
+// cell parses a numeric report cell ("9.71", "0.0059%").
+func cell(b *testing.B, s string) float64 {
+	b.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		b.Fatalf("cell %q: %v", s, err)
+	}
+	return v
+}
+
+func BenchmarkTable1_PollingConfigs(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Table1()
+	}
+	b.ReportMetric(cell(b, rep.Rows[2][1]), "Gbps-tuned")
+	b.ReportMetric(cell(b, rep.Rows[0][1]), "Gbps-nobatch")
+}
+
+func BenchmarkTable2_ComponentBounds(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Table2()
+	}
+	b.ReportMetric(cell(b, rep.Rows[1][2]), "mem-emp-Gbps")
+}
+
+func BenchmarkTable3_CPIAnalysis(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Table3()
+	}
+	b.ReportMetric(cell(b, rep.Rows[0][2]), "fwd-instr")
+	b.ReportMetric(cell(b, rep.Rows[2][2]), "ipsec-instr")
+}
+
+func BenchmarkFig3_TopologyCost(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Fig3()
+	}
+	// Current-server cluster size at N=1024 (paper: ≈3 servers/port).
+	for _, row := range rep.Rows {
+		if row[0] == "1024" {
+			v, _ := strconv.Atoi(strings.Fields(row[1])[0])
+			b.ReportMetric(float64(v), "servers@1024")
+		}
+	}
+}
+
+func BenchmarkFig6_QueueScenarios(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Fig6()
+	}
+	b.ReportMetric(cell(b, rep.Rows[2][1]), "parallel-GbpsFP")
+	b.ReportMetric(cell(b, rep.Rows[5][1]), "overlap1q-GbpsFP")
+}
+
+func BenchmarkFig7_CumulativeImpact(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Fig7()
+	}
+	b.ReportMetric(cell(b, rep.Rows[3][1]), "tuned-Mpps")
+	b.ReportMetric(cell(b, rep.Rows[0][1]), "xeon-Mpps")
+}
+
+func BenchmarkFig8_Workloads(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Fig8()
+	}
+	for _, row := range rep.Rows {
+		if row[0] == "64B" && row[1] == "rtr" {
+			b.ReportMetric(cell(b, row[2]), "rtr64-Gbps")
+		}
+		if row[0] == "Abilene" && row[1] == "ipsec" {
+			b.ReportMetric(cell(b, row[2]), "ipsecAb-Gbps")
+		}
+	}
+}
+
+func BenchmarkFig9_CPULoad(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Fig9()
+	}
+	b.ReportMetric(cell(b, rep.Rows[0][1]), "fwd-cycles")
+}
+
+func BenchmarkFig10_BusLoads(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Fig10()
+	}
+	b.ReportMetric(cell(b, rep.Rows[0][2]), "fwd-memBpp")
+}
+
+func BenchmarkNUMA_Placement(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.NUMA()
+	}
+	b.ReportMetric(cell(b, rep.Rows[0][1]), "fourCore-Gbps")
+}
+
+func BenchmarkProjection_NextGen(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.Projection()
+	}
+	b.ReportMetric(cell(b, rep.Rows[0][1]), "fwd-Gbps")
+	b.ReportMetric(cell(b, rep.Rows[1][1]), "rtr-Gbps")
+}
+
+func BenchmarkRB4Rate_Analytic(b *testing.B) {
+	var g64, gab float64
+	for i := 0; i < b.N; i++ {
+		_, g64, _ = experiments.RB4Analytic(64)
+		_, gab, _ = experiments.RB4Analytic(experiments.AbileneMean)
+	}
+	b.ReportMetric(g64, "Gbps-64B")
+	b.ReportMetric(gab, "Gbps-abilene")
+}
+
+func BenchmarkRB4Reordering_DES(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.RB4Reordering(true)
+	}
+	b.ReportMetric(cell(b, rep.Rows[0][1]), "pct-flowlets")
+	b.ReportMetric(cell(b, rep.Rows[1][1]), "pct-plain")
+}
+
+func BenchmarkRB4Latency_DES(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.RB4Latency(true)
+	}
+	b.ReportMetric(cell(b, rep.Rows[0][1]), "mean-us")
+}
+
+func BenchmarkAblation_BatchingGrid(b *testing.B) {
+	var rep *experiments.Report
+	for i := 0; i < b.N; i++ {
+		rep = experiments.AblationBatching()
+	}
+	_ = rep
+}
+
+// Single-server MaxRate microbenchmark: the whole bottleneck analysis is
+// cheap enough to sit inside control loops.
+func BenchmarkServerModel(b *testing.B) {
+	spec := hw.Nehalem()
+	cfg := hw.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		hw.MaxRate(spec, hw.Route, 64, cfg)
+	}
+}

@@ -1,0 +1,58 @@
+// Command rbbench regenerates the RouteBricks evaluation: every table
+// and figure of §5–§6, printed as aligned text or markdown.
+//
+// Usage:
+//
+//	rbbench                  # run everything
+//	rbbench -exp fig8        # one experiment
+//	rbbench -list            # list experiment IDs
+//	rbbench -md              # markdown output (EXPERIMENTS.md source)
+//	rbbench -quick           # shorter simulation runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"routebricks/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment ID to run (default: all)")
+		list  = flag.Bool("list", false, "list experiment IDs and exit")
+		md    = flag.Bool("md", false, "emit markdown instead of text tables")
+		quick = flag.Bool("quick", false, "shorter discrete-event runs")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-16s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	run := func(e experiments.Experiment) {
+		rep := e.Run(*quick)
+		if *md {
+			fmt.Print(rep.Markdown())
+		} else {
+			fmt.Println(rep.String())
+		}
+	}
+
+	if *exp != "" {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rbbench: unknown experiment %q (try -list)\n", *exp)
+			os.Exit(1)
+		}
+		run(e)
+		return
+	}
+	for _, e := range experiments.All() {
+		run(e)
+	}
+}

@@ -1,0 +1,73 @@
+// Command rbtopo explores the cluster-sizing design space of §3.3: given
+// a port count and server configuration it reports the chosen topology,
+// server count, and link provisioning, plus the switched-Clos comparison.
+//
+// Usage:
+//
+//	rbtopo -n 1024                  # all configurations at N=1024
+//	rbtopo -n 64 -config faster     # one configuration
+//	rbtopo -sweep                   # the full Fig 3 sweep
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"routebricks/internal/experiments"
+	"routebricks/internal/topo"
+)
+
+func configByName(name string) (topo.ServerConfig, bool) {
+	for _, c := range []topo.ServerConfig{topo.Current(), topo.MoreNICs(), topo.Faster()} {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return topo.ServerConfig{}, false
+}
+
+func main() {
+	var (
+		n     = flag.Int("n", 32, "external ports")
+		r     = flag.Float64("r", 10, "line rate per port (Gbps)")
+		cfgN  = flag.String("config", "", "server configuration: current, more-nics, faster (default: all)")
+		sweep = flag.Bool("sweep", false, "print the full Fig 3 sweep and exit")
+	)
+	flag.Parse()
+
+	if *sweep {
+		fmt.Println(experiments.Fig3().String())
+		return
+	}
+
+	cfgs := []topo.ServerConfig{topo.Current(), topo.MoreNICs(), topo.Faster()}
+	if *cfgN != "" {
+		c, ok := configByName(*cfgN)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "rbtopo: unknown config %q\n", *cfgN)
+			os.Exit(1)
+		}
+		cfgs = []topo.ServerConfig{c}
+	}
+
+	fmt.Printf("N = %d external ports at %g Gbps\n\n", *n, *r)
+	for _, cfg := range cfgs {
+		d, err := topo.Plan(cfg, *n, *r)
+		if err != nil {
+			fmt.Printf("%-10s: %v\n", cfg.Name, err)
+			continue
+		}
+		fmt.Printf("%-10s: %-6s %5d servers (%d port + %d intermediate)",
+			cfg.Name, d.Topology, d.Servers, d.PortServers, d.Intermediates)
+		if d.Topology == "mesh" {
+			fmt.Printf("  link %.3g Gbps ×%d bundle", d.LinkGbps, d.Bundle)
+		} else {
+			fmt.Printf("  %d stages", d.Stages)
+		}
+		fmt.Println()
+	}
+	sw, eq := topo.SwitchedCost(*n)
+	fmt.Printf("%-10s: %d 48-port switches ≈ %.0f server-equivalents (incl. %d servers)\n",
+		"switched", sw, eq, *n)
+}

@@ -1,0 +1,204 @@
+package click
+
+import (
+	"net/netip"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"routebricks/internal/pkt"
+)
+
+// collector records pushed packets.
+type collector struct {
+	got  []*pkt.Packet
+	port []int
+}
+
+func (c *collector) Push(_ *Context, port int, p *pkt.Packet) {
+	c.got = append(c.got, p)
+	c.port = append(c.port, port)
+}
+
+// passthrough forwards input 0 to output 0 charging one cycle.
+type passthrough struct{ Base }
+
+func (e *passthrough) Push(ctx *Context, _ int, p *pkt.Packet) {
+	ctx.Charge(1)
+	e.Out(ctx, 0, p)
+}
+func (e *passthrough) InPorts() int  { return 1 }
+func (e *passthrough) OutPorts() int { return 1 }
+
+func newPacket() *pkt.Packet {
+	return pkt.New(64, netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"), 1, 2)
+}
+
+func TestRouterWiring(t *testing.T) {
+	r := NewRouter()
+	a := &passthrough{}
+	b := &passthrough{}
+	sink := &collector{}
+	r.MustAdd("a", a)
+	r.MustAdd("b", b)
+	r.MustAdd("sink", sink)
+	r.MustConnect("a", 0, "b", 0)
+	r.MustConnect("b", 0, "sink", 0)
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Context{}
+	p := newPacket()
+	a.Push(ctx, 0, p)
+	if len(sink.got) != 1 || sink.got[0] != p {
+		t.Fatalf("sink got %d packets", len(sink.got))
+	}
+	if got := ctx.TakeCycles(); got != 2 {
+		t.Fatalf("cycles = %g, want 2", got)
+	}
+	if ctx.TakeCycles() != 0 {
+		t.Fatal("TakeCycles did not reset")
+	}
+}
+
+func TestRouterErrors(t *testing.T) {
+	r := NewRouter()
+	r.MustAdd("a", &passthrough{})
+	if err := r.Add("a", &passthrough{}); err == nil {
+		t.Error("duplicate Add accepted")
+	}
+	if err := r.Add("nil", nil); err == nil {
+		t.Error("nil element accepted")
+	}
+	if err := r.Connect("missing", 0, "a", 0); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if err := r.Connect("a", 0, "missing", 0); err == nil {
+		t.Error("unknown destination accepted")
+	}
+	if err := r.Connect("a", 5, "a", 0); err == nil {
+		t.Error("out-of-range output accepted")
+	}
+	if err := r.Connect("a", 0, "a", 9); err == nil {
+		t.Error("out-of-range input accepted")
+	}
+	r.MustAdd("b", &passthrough{})
+	r.MustConnect("a", 0, "b", 0)
+	if err := r.Connect("a", 0, "b", 0); err == nil {
+		t.Error("double connection of one output accepted")
+	}
+	// collector has no outputs: connecting from it must fail.
+	r.MustAdd("c", &collector{})
+	if err := r.Connect("c", 0, "a", 0); err == nil {
+		t.Error("connect from output-less element accepted")
+	}
+}
+
+func TestCheckFindsDanglingOutputs(t *testing.T) {
+	r := NewRouter()
+	r.MustAdd("a", &passthrough{})
+	err := r.Check()
+	if err == nil || !strings.Contains(err.Error(), "a[0]") {
+		t.Fatalf("Check = %v, want unconnected a[0]", err)
+	}
+}
+
+func TestUnconnectedOutDropsSilently(t *testing.T) {
+	a := &passthrough{}
+	a.Push(&Context{}, 0, newPacket()) // must not panic
+	if a.Connected(0) {
+		t.Fatal("Connected(0) true without wiring")
+	}
+}
+
+func TestGraphRendering(t *testing.T) {
+	r := NewRouter()
+	r.MustAdd("x", &passthrough{})
+	r.MustAdd("y", &collector{})
+	r.MustConnect("x", 0, "y", 3)
+	if g := r.Graph(); !strings.Contains(g, "x[0] -> y[3]") {
+		t.Fatalf("Graph = %q", g)
+	}
+	if names := r.Elements(); len(names) != 2 || names[0] != "x" {
+		t.Fatalf("Elements = %v", names)
+	}
+}
+
+func TestContextNow(t *testing.T) {
+	ctx := &Context{}
+	if ctx.Now() != 0 {
+		t.Fatal("untimed Now != 0")
+	}
+	ctx.NowNS = func() int64 { return 42 }
+	if ctx.Now() != 42 {
+		t.Fatal("Now passthrough broken")
+	}
+}
+
+func TestScheduleBinding(t *testing.T) {
+	s := NewSchedule(2)
+	ran := 0
+	s.MustBind(0, TaskFunc(func(*Context) int { ran++; return 1 }))
+	s.MustBind(0, TaskFunc(func(*Context) int { ran++; return 0 }))
+	if err := s.Bind(5, TaskFunc(func(*Context) int { return 0 })); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+	if n := s.RunStep(0, &Context{}); n != 1 {
+		t.Fatalf("RunStep = %d, want 1", n)
+	}
+	if ran != 2 {
+		t.Fatalf("ran %d tasks, want 2", ran)
+	}
+	if len(s.Tasks(1)) != 0 {
+		t.Fatal("core 1 has phantom tasks")
+	}
+}
+
+func TestRunnerProcessesConcurrently(t *testing.T) {
+	s := NewSchedule(4)
+	var fed [4]atomic.Int64
+	for core := 0; core < 4; core++ {
+		core := core
+		s.MustBind(core, TaskFunc(func(*Context) int {
+			if fed[core].Add(-1) >= 0 {
+				return 1
+			}
+			return 0
+		}))
+	}
+	for i := range fed {
+		fed[i].Store(1000)
+	}
+	r := NewRunner(s)
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err == nil {
+		t.Error("double Start accepted")
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		done := true
+		for core := 0; core < 4; core++ {
+			if r.Processed(core) < 1000 {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("runner did not drain work in time")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	r.Stop()
+	for core := 0; core < 4; core++ {
+		if got := r.Processed(core); got != 1000 {
+			t.Errorf("core %d processed %d, want exactly 1000", core, got)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package click
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseConfig asserts the Click-language parser never panics and
+// either yields a router or a descriptive error for arbitrary input.
+func FuzzParseConfig(f *testing.F) {
+	seeds := []string{
+		"a :: Counter; b :: Counter; a -> b;",
+		"a :: Counter; a[0] -> [0]a;",
+		"x :: Split(1,2,3); x -> x;",
+		"// comment\n a :: Counter ;",
+		"a :: Counter; a -> missing;",
+		"[[[[ -> ;;;; ::",
+		"a::Counter;b::Counter;a->b->a;",
+		strings.Repeat("a :: Counter; ", 50),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	reg := Registry{
+		"Counter": func(args []string) (Element, error) { return &pcounter{}, nil },
+		"Split":   func(args []string) (Element, error) { return &psplit{}, nil },
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		r, err := ParseConfig(text, reg, nil)
+		if err == nil && r == nil {
+			t.Fatal("nil router without error")
+		}
+	})
+}

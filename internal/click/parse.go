@@ -1,0 +1,232 @@
+package click
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Click-language configuration parser. RouteBricks' selling point is
+// that the router stays programmable "using the familiar Click/Linux
+// environment" (§1), so the framework accepts the Click configuration
+// syntax the paper's users would write:
+//
+//	// declarations
+//	check :: CheckIPHeader;
+//	rt    :: LPMLookup(fib);
+//	drop  :: Discard;
+//
+//	// connections, with optional port numbers
+//	check[0] -> rt;
+//	check[1] -> drop;
+//	rt[0] -> [0]ttl;
+//	a -> b -> c;              // chains default to port 0
+//
+// Element classes are resolved through a Registry of factories;
+// already-constructed elements (devices bound to rings, lookups bound to
+// tables) are supplied as prebound instances and referenced by name in
+// declarations like "rt :: LPMLookup(fib)" — the argument names the
+// prebound object — or used directly without declaration.
+
+// ElementFactory builds an element from its textual arguments.
+type ElementFactory func(args []string) (Element, error)
+
+// Registry maps element class names to factories.
+type Registry map[string]ElementFactory
+
+// ParseConfig builds a Router from Click-language text. reg resolves
+// element classes; prebound supplies ready-made instances addressable by
+// name (both as declaration arguments and as connection endpoints).
+func ParseConfig(text string, reg Registry, prebound map[string]Element) (*Router, error) {
+	r := NewRouter()
+	stmts, err := splitStatements(text)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range stmts {
+		if strings.Contains(s.text, "::") {
+			if err := parseDecl(r, reg, prebound, s); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if strings.Contains(s.text, "->") {
+			if err := parseChain(r, prebound, s); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return nil, fmt.Errorf("click: line %d: cannot parse %q", s.line, s.text)
+	}
+	return r, nil
+}
+
+type stmt struct {
+	text string
+	line int
+}
+
+// splitStatements strips comments and splits on ';'. Statements may span
+// lines; a line comment runs to end of line.
+func splitStatements(text string) ([]stmt, error) {
+	var clean strings.Builder
+	lines := strings.Split(text, "\n")
+	for _, ln := range lines {
+		if i := strings.Index(ln, "//"); i >= 0 {
+			ln = ln[:i]
+		}
+		clean.WriteString(ln)
+		clean.WriteByte('\n')
+	}
+	var out []stmt
+	line := 1
+	cur := strings.Builder{}
+	curLine := 1
+	for _, r := range clean.String() {
+		switch r {
+		case ';':
+			if s := strings.TrimSpace(cur.String()); s != "" {
+				out = append(out, stmt{s, curLine})
+			}
+			cur.Reset()
+			curLine = line
+		case '\n':
+			line++
+			cur.WriteByte(' ')
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	if s := strings.TrimSpace(cur.String()); s != "" {
+		return nil, fmt.Errorf("click: line %d: missing ';' after %q", curLine, s)
+	}
+	return out, nil
+}
+
+// parseDecl handles "name :: Class(args)".
+func parseDecl(r *Router, reg Registry, prebound map[string]Element, s stmt) error {
+	parts := strings.SplitN(s.text, "::", 2)
+	name := strings.TrimSpace(parts[0])
+	rest := strings.TrimSpace(parts[1])
+	if !validIdent(name) {
+		return fmt.Errorf("click: line %d: bad element name %q", s.line, name)
+	}
+	class := rest
+	var args []string
+	if i := strings.IndexByte(rest, '('); i >= 0 {
+		if !strings.HasSuffix(rest, ")") {
+			return fmt.Errorf("click: line %d: unbalanced parentheses in %q", s.line, rest)
+		}
+		class = strings.TrimSpace(rest[:i])
+		inner := rest[i+1 : len(rest)-1]
+		if strings.TrimSpace(inner) != "" {
+			for _, a := range strings.Split(inner, ",") {
+				args = append(args, strings.TrimSpace(a))
+			}
+		}
+	}
+	if !validIdent(class) {
+		return fmt.Errorf("click: line %d: bad element class %q", s.line, class)
+	}
+	// A declaration whose class names a prebound instance aliases it:
+	// "rt :: LPMLookup(fib)" with prebound["fib"].
+	if len(args) == 1 {
+		if el, ok := prebound[args[0]]; ok {
+			return r.Add(name, el)
+		}
+	}
+	factory, ok := reg[class]
+	if !ok {
+		return fmt.Errorf("click: line %d: unknown element class %q", s.line, class)
+	}
+	el, err := factory(args)
+	if err != nil {
+		return fmt.Errorf("click: line %d: %s: %w", s.line, class, err)
+	}
+	return r.Add(name, el)
+}
+
+// endpoint is one hop of a connection chain: [inPort]name[outPort].
+type endpoint struct {
+	name    string
+	inPort  int
+	outPort int
+}
+
+// parseEndpoint parses "[2]name[3]", "name[1]", "[1]name", or "name".
+func parseEndpoint(tok string, line int) (endpoint, error) {
+	e := endpoint{}
+	tok = strings.TrimSpace(tok)
+	if strings.HasPrefix(tok, "[") {
+		close := strings.IndexByte(tok, ']')
+		if close < 0 {
+			return e, fmt.Errorf("click: line %d: unbalanced '[' in %q", line, tok)
+		}
+		if _, err := fmt.Sscanf(tok[1:close], "%d", &e.inPort); err != nil {
+			return e, fmt.Errorf("click: line %d: bad input port in %q", line, tok)
+		}
+		tok = strings.TrimSpace(tok[close+1:])
+	}
+	if i := strings.IndexByte(tok, '['); i >= 0 {
+		if !strings.HasSuffix(tok, "]") {
+			return e, fmt.Errorf("click: line %d: unbalanced '[' in %q", line, tok)
+		}
+		if _, err := fmt.Sscanf(tok[i+1:len(tok)-1], "%d", &e.outPort); err != nil {
+			return e, fmt.Errorf("click: line %d: bad output port in %q", line, tok)
+		}
+		tok = strings.TrimSpace(tok[:i])
+	}
+	e.name = tok
+	if !validIdent(e.name) {
+		return e, fmt.Errorf("click: line %d: bad endpoint %q", line, tok)
+	}
+	return e, nil
+}
+
+// parseChain handles "a[1] -> [0]b -> c". Endpoint names not yet in the
+// router but present in the prebound set are registered on first use, so
+// a prebound instance used under exactly one name never leaves phantom
+// unconnected twins behind.
+func parseChain(r *Router, prebound map[string]Element, s stmt) error {
+	hops := strings.Split(s.text, "->")
+	if len(hops) < 2 {
+		return fmt.Errorf("click: line %d: dangling connection %q", s.line, s.text)
+	}
+	eps := make([]endpoint, len(hops))
+	for i, h := range hops {
+		e, err := parseEndpoint(h, s.line)
+		if err != nil {
+			return err
+		}
+		if r.Get(e.name) == nil {
+			if el, ok := prebound[e.name]; ok {
+				if err := r.Add(e.name, el); err != nil {
+					return err
+				}
+			}
+		}
+		eps[i] = e
+	}
+	for i := 0; i+1 < len(eps); i++ {
+		from, to := eps[i], eps[i+1]
+		if err := r.Connect(from.name, from.outPort, to.name, to.inPort); err != nil {
+			return fmt.Errorf("click: line %d: %w", s.line, err)
+		}
+	}
+	return nil
+}
+
+func validIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case unicode.IsLetter(r) || r == '_':
+		case unicode.IsDigit(r) && i > 0:
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,181 @@
+package click
+
+import (
+	"net/netip"
+	"strings"
+	"testing"
+
+	"routebricks/internal/pkt"
+)
+
+// test element classes for the parser tests.
+type pcounter struct {
+	Base
+	n int
+}
+
+func (c *pcounter) Push(ctx *Context, _ int, p *pkt.Packet) {
+	c.n++
+	c.Out(ctx, 0, p)
+}
+func (c *pcounter) InPorts() int  { return 1 }
+func (c *pcounter) OutPorts() int { return 1 }
+
+type psink struct{ got []int }
+
+func (s *psink) Push(_ *Context, port int, _ *pkt.Packet) { s.got = append(s.got, port) }
+
+type psplit struct{ Base }
+
+func (e *psplit) Push(ctx *Context, _ int, p *pkt.Packet) {
+	e.Out(ctx, int(p.Paint)%2, p)
+}
+func (e *psplit) InPorts() int  { return 1 }
+func (e *psplit) OutPorts() int { return 2 }
+
+func testRegistry() Registry {
+	return Registry{
+		"Counter": func(args []string) (Element, error) { return &pcounter{}, nil },
+		"Split":   func(args []string) (Element, error) { return &psplit{}, nil },
+	}
+}
+
+func pushPacket(t *testing.T, r *Router, entry string, paint byte) {
+	t.Helper()
+	p := pkt.New(64, netip.MustParseAddr("1.1.1.1"), netip.MustParseAddr("2.2.2.2"), 1, 2)
+	p.Paint = paint
+	r.Get(entry).Push(&Context{}, 0, p)
+}
+
+func TestParseSimpleChain(t *testing.T) {
+	sink := &psink{}
+	r, err := ParseConfig(`
+		// a minimal pipeline
+		a :: Counter;
+		b :: Counter;
+		a -> b -> out;
+	`, testRegistry(), map[string]Element{"out": sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushPacket(t, r, "a", 0)
+	if len(sink.got) != 1 {
+		t.Fatalf("sink received %d packets", len(sink.got))
+	}
+	if r.Get("a").(*pcounter).n != 1 || r.Get("b").(*pcounter).n != 1 {
+		t.Fatal("counters did not see the packet")
+	}
+}
+
+func TestParseExplicitPorts(t *testing.T) {
+	sink := &psink{}
+	r, err := ParseConfig(`
+		s :: Split;
+		s[0] -> [3]out;
+		s[1] -> [7]out;
+	`, testRegistry(), map[string]Element{"out": sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushPacket(t, r, "s", 0) // paint 0 → output 0 → sink port 3
+	pushPacket(t, r, "s", 1) // paint 1 → output 1 → sink port 7
+	if len(sink.got) != 2 || sink.got[0] != 3 || sink.got[1] != 7 {
+		t.Fatalf("sink ports = %v, want [3 7]", sink.got)
+	}
+}
+
+func TestParsePreboundAlias(t *testing.T) {
+	inst := &pcounter{}
+	sink := &psink{}
+	r, err := ParseConfig(`
+		rt :: Lookup(fib);
+		rt -> out;
+	`, testRegistry(), map[string]Element{"fib": inst, "out": sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Get("rt") != Element(inst) {
+		t.Fatal("alias did not bind the prebound instance")
+	}
+	pushPacket(t, r, "rt", 0)
+	if inst.n != 1 || len(sink.got) != 1 {
+		t.Fatal("prebound pipeline did not run")
+	}
+}
+
+func TestParseCommentsAndWhitespace(t *testing.T) {
+	_, err := ParseConfig(`
+		// comment only line
+		a :: Counter;    // trailing comment
+
+		b
+		   ::
+		Counter;
+		a -> b;
+		b -> a;   // cycles are legal in click graphs
+	`, testRegistry(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want string
+	}{
+		{"missing semicolon", "a :: Counter", "missing ';'"},
+		{"unknown class", "a :: Nope;", "unknown element class"},
+		{"bad name", "9a :: Counter;", "bad element name"},
+		{"bad class", "a :: 9Counter;", "bad element class"},
+		{"unbalanced parens", "a :: Counter(;", "unbalanced"},
+		{"unknown endpoint", "a :: Counter; a -> ghost;", "unknown element"},
+		{"garbage", "what is this;", "cannot parse"},
+		{"bad port", "a :: Counter; b :: Counter; a[x] -> b;", "bad output port"},
+		{"bad inport", "a :: Counter; b :: Counter; a -> [y]b;", "bad input port"},
+		{"double connect", "a :: Counter; b :: Counter; a -> b; a -> b;", "already connected"},
+		{"duplicate decl", "a :: Counter; a :: Counter;", "duplicate"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseConfig(c.text, testRegistry(), nil)
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error = %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseFactoryErrorPropagates(t *testing.T) {
+	reg := Registry{
+		"Fussy": func(args []string) (Element, error) {
+			return nil, &parseErr{"no arguments allowed"}
+		},
+	}
+	_, err := ParseConfig("x :: Fussy(1);", reg, nil)
+	if err == nil || !strings.Contains(err.Error(), "no arguments allowed") {
+		t.Fatalf("factory error lost: %v", err)
+	}
+}
+
+type parseErr struct{ s string }
+
+func (e *parseErr) Error() string { return e.s }
+
+func TestParseLongChainDefaultPorts(t *testing.T) {
+	sink := &psink{}
+	r, err := ParseConfig(`
+		a :: Counter; b :: Counter; c :: Counter;
+		a -> b -> c -> out;
+	`, testRegistry(), map[string]Element{"out": sink})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushPacket(t, r, "a", 0)
+	for _, name := range []string{"a", "b", "c"} {
+		if r.Get(name).(*pcounter).n != 1 {
+			t.Fatalf("%s did not see the packet", name)
+		}
+	}
+}

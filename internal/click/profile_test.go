@@ -1,0 +1,122 @@
+package click
+
+import (
+	"routebricks/internal/pkt"
+
+	"strings"
+	"testing"
+)
+
+// charger charges a fixed cycle count then forwards.
+type charger struct {
+	Base
+	cost float64
+}
+
+func (e *charger) Push(ctx *Context, _ int, p *pkt.Packet) {
+	ctx.Charge(e.cost)
+	e.Out(ctx, 0, p)
+}
+func (e *charger) InPorts() int  { return 1 }
+func (e *charger) OutPorts() int { return 1 }
+
+func TestProfilerExclusiveAttribution(t *testing.T) {
+	r := NewRouter()
+	a := &charger{cost: 100}
+	b := &charger{cost: 30}
+	c := &charger{cost: 7}
+	sink := &collector{}
+	r.MustAdd("a", a)
+	r.MustAdd("b", b)
+	r.MustAdd("c", c)
+	r.MustAdd("sink", sink)
+	r.MustConnect("a", 0, "b", 0)
+	r.MustConnect("b", 0, "c", 0)
+	r.MustConnect("c", 0, "sink", 0)
+
+	prof := NewProfiler()
+	r.Instrument(prof)
+
+	ctx := &Context{}
+	const n = 10
+	for i := 0; i < n; i++ {
+		// Attribute the entry element manually, like a poll task would.
+		fi := ctx.pushFrame()
+		a.Push(ctx, 0, newPacket())
+		prof.Account("a", ctx.popFrame(fi), 1)
+	}
+
+	stats := map[string]ElementStats{}
+	for _, s := range prof.Stats() {
+		stats[s.Name] = s
+	}
+	if got := stats["a"].Cycles; got != 100*n {
+		t.Errorf("a cycles = %g, want %d (exclusive of children)", got, 100*n)
+	}
+	if got := stats["b"].Cycles; got != 30*n {
+		t.Errorf("b cycles = %g, want %d", got, 30*n)
+	}
+	if got := stats["c"].Cycles; got != 7*n {
+		t.Errorf("c cycles = %g, want %d", got, 7*n)
+	}
+	if got := stats["sink"].Cycles; got != 0 {
+		t.Errorf("sink cycles = %g, want 0", got)
+	}
+	if got := stats["sink"].Packets; got != n {
+		t.Errorf("sink packets = %d, want %d", got, n)
+	}
+	if total := prof.TotalCycles(); total != 137*n {
+		t.Errorf("total = %g, want %d", total, 137*n)
+	}
+	// The context's raw accumulator still holds the full amount.
+	if got := ctx.TakeCycles(); got != 137*n {
+		t.Errorf("context cycles = %g, want %d", got, 137*n)
+	}
+
+	out := prof.String()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "cyc/pkt") {
+		t.Errorf("report missing content:\n%s", out)
+	}
+	// Heaviest first.
+	if prof.Stats()[0].Name != "a" {
+		t.Errorf("stats[0] = %s, want a", prof.Stats()[0].Name)
+	}
+}
+
+func TestProfilerBranchingAttribution(t *testing.T) {
+	// a → b and a → (port 1 unused); packets alternate... use a splitter.
+	r := NewRouter()
+	split := &psplit{}
+	left := &charger{cost: 11}
+	right := &charger{cost: 23}
+	sinkL := &collector{}
+	sinkR := &collector{}
+	r.MustAdd("split", split)
+	r.MustAdd("left", left)
+	r.MustAdd("right", right)
+	r.MustAdd("sinkL", sinkL)
+	r.MustAdd("sinkR", sinkR)
+	r.MustConnect("split", 0, "left", 0)
+	r.MustConnect("split", 1, "right", 0)
+	r.MustConnect("left", 0, "sinkL", 0)
+	r.MustConnect("right", 0, "sinkR", 0)
+	prof := NewProfiler()
+	r.Instrument(prof)
+
+	ctx := &Context{}
+	for i := 0; i < 6; i++ {
+		p := newPacket()
+		p.Paint = byte(i % 2)
+		split.Push(ctx, 0, p)
+	}
+	stats := map[string]ElementStats{}
+	for _, s := range prof.Stats() {
+		stats[s.Name] = s
+	}
+	if stats["left"].Packets != 3 || stats["right"].Packets != 3 {
+		t.Fatalf("split packets: left %d right %d", stats["left"].Packets, stats["right"].Packets)
+	}
+	if stats["left"].Cycles != 33 || stats["right"].Cycles != 69 {
+		t.Fatalf("split cycles: left %g right %g", stats["left"].Cycles, stats["right"].Cycles)
+	}
+}

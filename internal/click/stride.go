@@ -1,0 +1,63 @@
+package click
+
+import "container/heap"
+
+// StrideScheduler runs tasks in proportion to ticket weights — Click's
+// StrideSched. A task with twice the tickets runs twice as often; the
+// RouteBricks configurations use it to bias cores toward busy queues
+// while keeping starvation impossible.
+type StrideScheduler struct {
+	q strideHeap
+}
+
+const strideOne = 1 << 20
+
+type strideTask struct {
+	task    Task
+	stride  uint64
+	pass    uint64
+	index   int
+	tickets int
+}
+
+type strideHeap []*strideTask
+
+func (h strideHeap) Len() int           { return len(h) }
+func (h strideHeap) Less(i, j int) bool { return h[i].pass < h[j].pass }
+func (h strideHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *strideHeap) Push(x any)        { t := x.(*strideTask); t.index = len(*h); *h = append(*h, t) }
+func (h *strideHeap) Pop() any          { old := *h; n := len(old); t := old[n-1]; *h = old[:n-1]; return t }
+
+// NewStrideScheduler returns an empty scheduler.
+func NewStrideScheduler() *StrideScheduler { return &StrideScheduler{} }
+
+// Add registers a task with the given tickets (≥1).
+func (s *StrideScheduler) Add(t Task, tickets int) {
+	if tickets < 1 {
+		tickets = 1
+	}
+	st := &strideTask{task: t, stride: strideOne / uint64(tickets), tickets: tickets}
+	// New tasks start at the current minimum pass so they neither starve
+	// nor monopolize.
+	if len(s.q) > 0 {
+		st.pass = s.q[0].pass
+	}
+	heap.Push(&s.q, st)
+}
+
+// Len reports the task count.
+func (s *StrideScheduler) Len() int { return len(s.q) }
+
+// RunStep runs the task with the smallest pass value once and advances
+// it by its stride. It reports the packets the task processed, or -1
+// when the scheduler is empty.
+func (s *StrideScheduler) RunStep(ctx *Context) int {
+	if len(s.q) == 0 {
+		return -1
+	}
+	st := s.q[0]
+	n := st.task.Run(ctx)
+	st.pass += st.stride
+	heap.Fix(&s.q, 0)
+	return n
+}

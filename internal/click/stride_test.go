@@ -1,0 +1,63 @@
+package click
+
+import "testing"
+
+func TestStrideProportions(t *testing.T) {
+	s := NewStrideScheduler()
+	counts := [3]int{}
+	s.Add(TaskFunc(func(*Context) int { counts[0]++; return 0 }), 1)
+	s.Add(TaskFunc(func(*Context) int { counts[1]++; return 0 }), 2)
+	s.Add(TaskFunc(func(*Context) int { counts[2]++; return 0 }), 4)
+	ctx := &Context{}
+	const rounds = 7000
+	for i := 0; i < rounds; i++ {
+		s.RunStep(ctx)
+	}
+	// Ratios ≈ 1:2:4.
+	if counts[0] == 0 {
+		t.Fatal("weight-1 task starved")
+	}
+	r1 := float64(counts[1]) / float64(counts[0])
+	r2 := float64(counts[2]) / float64(counts[0])
+	if r1 < 1.9 || r1 > 2.1 {
+		t.Fatalf("ratio t2/t1 = %.2f, want ≈2 (%v)", r1, counts)
+	}
+	if r2 < 3.8 || r2 > 4.2 {
+		t.Fatalf("ratio t3/t1 = %.2f, want ≈4 (%v)", r2, counts)
+	}
+}
+
+func TestStrideEmptyAndLateJoin(t *testing.T) {
+	s := NewStrideScheduler()
+	ctx := &Context{}
+	if s.RunStep(ctx) != -1 {
+		t.Fatal("empty scheduler ran something")
+	}
+	ran := 0
+	s.Add(TaskFunc(func(*Context) int { ran++; return 1 }), 1)
+	for i := 0; i < 100; i++ {
+		s.RunStep(ctx)
+	}
+	// A late joiner must start at the current pass, not at zero.
+	late := 0
+	s.Add(TaskFunc(func(*Context) int { late++; return 1 }), 1)
+	for i := 0; i < 100; i++ {
+		s.RunStep(ctx)
+	}
+	if late < 40 || late > 60 {
+		t.Fatalf("late joiner ran %d of 100, want ≈50", late)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+}
+
+func TestStrideZeroTicketsClamped(t *testing.T) {
+	s := NewStrideScheduler()
+	ran := 0
+	s.Add(TaskFunc(func(*Context) int { ran++; return 0 }), 0)
+	s.RunStep(&Context{})
+	if ran != 1 {
+		t.Fatal("zero-ticket task never ran")
+	}
+}

@@ -1,0 +1,55 @@
+package cluster
+
+import "routebricks/internal/sim"
+
+// Failure injection. A failed node stops polling, stops its transmit
+// engines, and black-holes anything arriving on its wires — the behavior
+// of a crashed server. Peers learn of the failure immediately (the
+// cluster plays the role of the mesh's link-state detection, which the
+// paper leaves to standard mechanisms) and their balancers stop choosing
+// the dead node as an intermediate; traffic *destined* to its external
+// port is undeliverable and is accounted as failure loss.
+
+// FailNode schedules node id to crash at virtual time at.
+func (c *Cluster) FailNode(at sim.Time, id int) {
+	c.eng.Schedule(at, func() {
+		n := c.nodes[id]
+		if n.failed {
+			return
+		}
+		n.failed = true
+		for _, peer := range c.nodes {
+			if peer != n {
+				peer.bal.SetDown(id, true)
+			}
+		}
+	})
+}
+
+// RecoverNode schedules node id to come back at virtual time at. Its
+// rings retain whatever they held at failure; cores and transmit engines
+// resume from there.
+func (c *Cluster) RecoverNode(at sim.Time, id int) {
+	c.eng.Schedule(at, func() {
+		n := c.nodes[id]
+		if !n.failed {
+			return
+		}
+		n.failed = false
+		for _, peer := range c.nodes {
+			if peer != n {
+				peer.bal.SetDown(id, false)
+			}
+		}
+		for _, co := range n.cores {
+			c.eng.After(idleRepoll, co.step)
+		}
+		for _, e := range n.engines {
+			c.eng.After(txService, e.service)
+		}
+	})
+}
+
+// FailureDrops reports packets lost to failed nodes (arrived at a dead
+// wire or injected into a dead external port).
+func (c *Cluster) FailureDrops() uint64 { return c.failureDrops }

@@ -1,0 +1,410 @@
+package cluster
+
+import (
+	"fmt"
+
+	"routebricks/internal/click"
+	"routebricks/internal/elements"
+	"routebricks/internal/hw"
+	"routebricks/internal/nic"
+	"routebricks/internal/pkt"
+	"routebricks/internal/sim"
+	"routebricks/internal/vlb"
+)
+
+// node is one cluster server: an external port, one internal port per
+// peer, per-core click pipelines, a VLB balancer, and per-port transmit
+// engines.
+type node struct {
+	c   *Cluster
+	id  int
+	ext *nic.Port
+	// peersIn[j] is the port facing peer j (nil at j == id). Its RX side
+	// receives from j (MAC-steered); its TX side sends to j.
+	peersIn []*nic.Port
+	bal     *vlb.Balancer
+	cores   []*core
+	engines []*txEngine
+	failed  bool
+
+	ttlDiscard  elements.Discard
+	hdrDiscard  elements.Discard
+	missDiscard elements.Discard
+}
+
+func newNode(c *Cluster, id int) *node {
+	cfg := c.cfg
+	cores := cfg.Spec.Cores()
+	if cores < cfg.Nodes {
+		panic(fmt.Sprintf("cluster: MAC steering needs cores (%d) ≥ nodes (%d)", cores, cfg.Nodes))
+	}
+	qcfg := nic.Config{RXQueues: cores, TXQueues: cores, QueueSize: cfg.QueueSize}
+	n := &node{c: c, id: id}
+	extCfg := qcfg
+	extCfg.Steering = nic.SteerRSS
+	n.ext = nic.NewPort(id*100, extCfg)
+	n.peersIn = make([]*nic.Port, cfg.Nodes)
+	for j := 0; j < cfg.Nodes; j++ {
+		if j == id {
+			continue
+		}
+		pc := qcfg
+		pc.Steering = nic.SteerMAC
+		n.peersIn[j] = nic.NewPort(id*100+j+1, pc)
+	}
+	n.bal = vlb.New(vlb.Config{
+		Nodes:       cfg.Nodes,
+		Self:        id,
+		LineRateBps: cfg.LineRateBps,
+		LinkCapBps:  cfg.FitCapBps,
+		Delta:       cfg.Delta,
+		Flowlets:    cfg.Flowlets,
+		Seed:        cfg.Seed,
+	})
+	return n
+}
+
+// start builds per-core pipelines and transmit engines and schedules
+// their first events, staggered to avoid lockstep artifacts.
+func (n *node) start() {
+	eng := n.c.eng
+	for i := 0; i < n.c.cfg.Spec.Cores(); i++ {
+		co := newCore(n, i)
+		n.cores = append(n.cores, co)
+		off := sim.Time(i) * 100 * sim.Nanosecond
+		eng.Schedule(off, co.step)
+	}
+	// One transmit engine per port: external egress plus each peer link.
+	n.engines = append(n.engines, newTxEngine(n, n.ext, -1))
+	for j, p := range n.peersIn {
+		if p != nil {
+			n.engines = append(n.engines, newTxEngine(n, p, j))
+		}
+	}
+	for k, e := range n.engines {
+		off := sim.Time(k)*137*sim.Nanosecond + 500*sim.Nanosecond
+		eng.Schedule(off, e.service)
+	}
+}
+
+func (n *node) queued() int {
+	total := 0
+	ports := append([]*nic.Port{n.ext}, n.peersIn...)
+	for _, p := range ports {
+		if p == nil {
+			continue
+		}
+		for q := 0; q < p.NumRX(); q++ {
+			total += p.RX(q).Len()
+		}
+		for q := 0; q < p.NumTX(); q++ {
+			total += p.TX(q).Len()
+		}
+	}
+	return total
+}
+
+func (n *node) txDrops() uint64 {
+	var d uint64
+	d += n.ext.TXDrops()
+	for _, p := range n.peersIn {
+		if p != nil {
+			d += p.TXDrops()
+		}
+	}
+	return d
+}
+
+// core is one CPU core: it owns receive queue index `idx` on every port
+// of its node (the paper's "one core per queue" rule) and runs the
+// pipelines attached to those queues.
+type core struct {
+	n   *node
+	idx int
+	ctx *click.Context
+
+	polls []*elements.PollDevice
+}
+
+func newCore(n *node, idx int) *core {
+	c := &core{n: n, idx: idx}
+	c.ctx = &click.Context{NowNS: func() int64 { return int64(n.c.eng.Now()) }}
+	cfg := n.c.cfg
+
+	// Ingress pipeline: external queue idx → CheckIPHeader → LPMLookup →
+	// DecIPTTL → vlbIngress → per-destination ToDevice.
+	ing := &vlbIngress{core: c}
+	ing.build()
+	look := elements.NewLPMLookup(n.c.table)
+	check := &elements.CheckIPHeader{}
+	ttl := &elements.DecIPTTL{}
+	poll := elements.NewPollDevice(n.ext.RX(idx), cfg.KP)
+	poll.SetOutput(0, func(ctx *click.Context, p *pkt.Packet) { check.Push(ctx, 0, p) })
+	check.SetOutput(0, func(ctx *click.Context, p *pkt.Packet) { look.Push(ctx, 0, p) })
+	check.SetOutput(1, func(ctx *click.Context, p *pkt.Packet) { n.hdrDiscard.Push(ctx, 0, p) })
+	look.SetOutput(0, func(ctx *click.Context, p *pkt.Packet) { ttl.Push(ctx, 0, p) })
+	look.SetOutput(1, func(ctx *click.Context, p *pkt.Packet) { n.missDiscard.Push(ctx, 0, p) })
+	ttl.SetOutput(0, func(ctx *click.Context, p *pkt.Packet) { ing.Push(ctx, 0, p) })
+	ttl.SetOutput(1, func(ctx *click.Context, p *pkt.Packet) {
+		n.c.ttlDrops++
+		n.ttlDiscard.Push(ctx, 0, p)
+	})
+	c.polls = append(c.polls, poll)
+
+	// Transit pipelines: queue q of an internal port carries packets
+	// whose output node is q (MAC steering). Queue q of the port facing
+	// peer j is polled by core (q+j) mod cores, so one output node's
+	// traffic — which lands in queue q on *every* port — spreads across
+	// as many cores as the node has internal ports, while each queue
+	// still has exactly one core (§4.2's rule).
+	cores := cfg.Spec.Cores()
+	for j, p := range n.peersIn {
+		if p == nil {
+			continue
+		}
+		q := ((idx-j)%cores + cores) % cores
+		if q >= cfg.Nodes*n.c.splitFactor() {
+			continue // MAC steering uses only Nodes×split queues
+		}
+		tr := &vlbTransit{core: c, outNode: q % cfg.Nodes}
+		tr.build()
+		tpoll := elements.NewPollDevice(p.RX(q), cfg.KP)
+		tpoll.SetOutput(0, func(ctx *click.Context, pk *pkt.Packet) { tr.Push(ctx, 0, pk) })
+		c.polls = append(c.polls, tpoll)
+	}
+	return c
+}
+
+// step is one scheduling quantum: poll every owned queue once, then come
+// back after the consumed virtual CPU time.
+func (c *core) step() {
+	if c.n.failed {
+		return // crashed: no reschedule until RecoverNode
+	}
+	packets := 0
+	for _, p := range c.polls {
+		packets += p.Run(c.ctx)
+	}
+	cycles := c.ctx.TakeCycles()
+	next := sim.Time(cycles / c.n.c.cfg.Spec.ClockHz * float64(sim.Second))
+	if packets == 0 && next < idleRepoll {
+		next = idleRepoll
+	}
+	if next < 10*sim.Nanosecond {
+		next = 10 * sim.Nanosecond
+	}
+	c.n.c.eng.After(next, c.step)
+}
+
+// vlbIngress is one of RB4's two new elements (§6.1): it takes a packet
+// whose output node was just resolved by the route lookup (NextHop
+// annotation), consults the VLB balancer, encodes the output node in the
+// destination MAC, and queues the packet toward the chosen next node.
+type vlbIngress struct {
+	click.Base
+	core  *core
+	toExt *elements.ToDevice
+	to    []*elements.ToDevice // per peer node
+}
+
+func (v *vlbIngress) build() {
+	n := v.core.n
+	kn := n.c.cfg.KN
+	v.toExt = elements.NewToDevice(n.ext.TX(v.core.idx), kn)
+	v.to = make([]*elements.ToDevice, n.c.cfg.Nodes)
+	for j, p := range n.peersIn {
+		if p != nil {
+			v.to[j] = elements.NewToDevice(p.TX(v.core.idx), kn)
+		}
+	}
+}
+
+// InPorts reports 1.
+func (v *vlbIngress) InPorts() int { return 1 }
+
+// OutPorts reports 0 (terminal: hands off to transmit rings).
+func (v *vlbIngress) OutPorts() int { return 0 }
+
+// Push routes the packet into the cluster.
+func (v *vlbIngress) Push(ctx *click.Context, _ int, p *pkt.Packet) {
+	n := v.core.n
+	out := p.NextHop // output node, resolved by LPMLookup against the FIB
+	if n.c.cfg.Flowlets {
+		ctx.Charge(hw.ReorderTaxCycles)
+	}
+	p.VLBPhase = 1
+	if out == n.id {
+		// Hairpin: destined to this node's own external port.
+		v.toExt.Push(ctx, 0, p)
+		return
+	}
+	// The steering MAC carries the output node plus flow-hash bits above
+	// it, sharding each output's egress work across split queues (and so
+	// cores) at every downstream port. Per-flow stable, so no reordering.
+	steer := out
+	if split := n.c.splitFactor(); split > 1 {
+		steer = out + n.c.cfg.Nodes*int((p.FlowHash()>>16)%uint64(split))
+	}
+	p.Ether().SetSrc(pkt.NodeMAC(n.id))
+	p.Ether().SetDst(pkt.NodeMAC(steer))
+	d := n.bal.Route(sim.Time(ctx.Now()), p, out)
+	v.to[d.Next].Push(ctx, 0, p)
+}
+
+// vlbTransit is the second RB4 element: packets arriving on an internal
+// port's queue o belong to output node o; forward them there (phase 2)
+// or out the external port (egress) without header processing.
+type vlbTransit struct {
+	click.Base
+	core    *core
+	outNode int
+	toExt   *elements.ToDevice
+	toPeer  *elements.ToDevice
+}
+
+func (v *vlbTransit) build() {
+	n := v.core.n
+	kn := n.c.cfg.KN
+	if v.outNode == n.id {
+		v.toExt = elements.NewToDevice(n.ext.TX(v.core.idx), kn)
+	} else {
+		v.toPeer = elements.NewToDevice(n.peersIn[v.outNode].TX(v.core.idx), kn)
+	}
+}
+
+// InPorts reports 1.
+func (v *vlbTransit) InPorts() int { return 1 }
+
+// OutPorts reports 0.
+func (v *vlbTransit) OutPorts() int { return 0 }
+
+// Push moves the packet along without touching its headers.
+func (v *vlbTransit) Push(ctx *click.Context, _ int, p *pkt.Packet) {
+	p.VLBPhase++
+	if v.toExt != nil {
+		v.toExt.Push(ctx, 0, p)
+		return
+	}
+	v.toPeer.Push(ctx, 0, p)
+}
+
+// txEngine is the NIC-side transmit DMA engine for one port: it forms
+// kn-packet descriptor batches (waiting up to TxTimeout), pays the DMA
+// transfer time, and serializes packets onto the link.
+type txEngine struct {
+	n    *node
+	port *nic.Port
+	peer int // destination node, or -1 for the external wire
+
+	cursor       int
+	linkBusy     sim.Time
+	pendingSince sim.Time
+	batch        []*pkt.Packet
+}
+
+func newTxEngine(n *node, port *nic.Port, peer int) *txEngine {
+	return &txEngine{n: n, port: port, peer: peer, pendingSince: -1,
+		batch: make([]*pkt.Packet, n.c.cfg.KN)}
+}
+
+func (e *txEngine) occupancy() int {
+	total := 0
+	for q := 0; q < e.port.NumTX(); q++ {
+		total += e.port.TX(q).Len()
+	}
+	return total
+}
+
+func (e *txEngine) service() {
+	if e.n.failed {
+		return // crashed: no reschedule until RecoverNode
+	}
+	now := e.n.c.eng.Now()
+	defer e.n.c.eng.Schedule(now+txService, e.service)
+
+	occ := e.occupancy()
+	if occ == 0 {
+		e.pendingSince = -1
+		return
+	}
+	if e.pendingSince < 0 {
+		e.pendingSince = now
+	}
+	kn := e.n.c.cfg.KN
+	if occ < kn && now-e.pendingSince < e.n.c.cfg.TxTimeout {
+		return // keep waiting for a full batch
+	}
+	if e.linkBusy > now+maxLinkBacklog {
+		return // link backpressure: leave packets in the rings
+	}
+	k := e.port.DrainTX(e.batch, &e.cursor)
+	if k == 0 {
+		e.pendingSince = -1
+		return
+	}
+	linkBps := e.n.c.cfg.LinkBps
+	if e.peer < 0 {
+		linkBps = e.n.c.cfg.LineRateBps
+	}
+	depart := now + TxDMA
+	if e.linkBusy > depart {
+		depart = e.linkBusy
+	}
+	for i := 0; i < k; i++ {
+		p := e.batch[i]
+		e.batch[i] = nil
+		ser := sim.Time(float64(p.Len()*8) / linkBps * float64(sim.Second))
+		depart += ser
+		e.deliver(depart+LinkPropagation, p)
+	}
+	e.linkBusy = depart
+	if e.occupancy() > 0 {
+		e.pendingSince = now
+	} else {
+		e.pendingSince = -1
+	}
+}
+
+// deliver schedules the packet's arrival at the far end of the link.
+func (e *txEngine) deliver(at sim.Time, p *pkt.Packet) {
+	c := e.n.c
+	c.flying++
+	if e.peer < 0 {
+		// External wire: the packet has left the router.
+		c.eng.Schedule(at, func() {
+			c.flying--
+			c.measure(p)
+		})
+		return
+	}
+	from := e.n.id
+	to := e.peer
+	c.eng.Schedule(at, func() {
+		c.eng.After(RxDMA, func() {
+			c.flying--
+			if c.nodes[to].failed {
+				c.failureDrops++
+				return
+			}
+			c.nodes[to].peersIn[from].Deliver(p)
+		})
+	})
+}
+
+// measure records a delivered packet.
+func (c *Cluster) measure(p *pkt.Packet) {
+	lat := float64(int64(c.eng.Now())-p.Arrival) / 1000 // µs
+	c.Latency.Add(lat)
+	c.Meter.Observe(p.FlowHash(), p.SeqNo)
+	if p.InputPort >= 0 && p.InputPort < len(c.DeliveredByInput) {
+		c.DeliveredByInput[p.InputPort]++
+	}
+	phase := p.VLBPhase
+	if phase < 0 {
+		phase = 0
+	}
+	if phase > 3 {
+		phase = 3
+	}
+	c.Hops[phase]++
+}

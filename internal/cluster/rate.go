@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"fmt"
+
+	"routebricks/internal/sim"
+	"routebricks/internal/trafficgen"
+)
+
+// RateProbe is one point of a loss-free rate search.
+type RateProbe struct {
+	OfferedBpsPerNode float64
+	Injected          uint64
+	Delivered         uint64
+	LossFraction      float64
+	MeanLatencyUs     float64
+}
+
+// String renders the probe.
+func (p RateProbe) String() string {
+	return fmt.Sprintf("%.2f Gbps/node: loss %.4f%%, latency %.1f µs",
+		p.OfferedBpsPerNode/1e9, 100*p.LossFraction, p.MeanLatencyUs)
+}
+
+// probeRate runs one cluster at a fixed offered load and measures loss.
+func probeRate(base Config, sizes trafficgen.SizeDist, bpsPerNode float64,
+	window sim.Time) (RateProbe, error) {
+	c, err := New(base)
+	if err != nil {
+		return RateProbe{}, err
+	}
+	w := Workload{
+		OfferedBpsPerNode: bpsPerNode,
+		Sizes:             sizes,
+		ExcludeSelf:       true,
+		Duration:          window,
+		Seed:              base.Seed + 1,
+	}
+	w.Apply(c)
+	c.Run(window + sim.Millisecond)
+	c.Drain(30 * sim.Millisecond)
+	injected, delivered, _, _, _ := c.Totals()
+	loss := 0.0
+	if injected > 0 {
+		loss = 1 - float64(delivered)/float64(injected)
+	}
+	return RateProbe{
+		OfferedBpsPerNode: bpsPerNode,
+		Injected:          injected,
+		Delivered:         delivered,
+		LossFraction:      loss,
+		MeanLatencyUs:     c.Latency.Mean(),
+	}, nil
+}
+
+// MeasuredLossFreeRate binary-searches the highest per-node offered load
+// the cluster sustains with loss ≤ tol, the way the paper's authors
+// dialed their traffic generators to find the "maximum attainable
+// loss-free forwarding rate" (§5.1). It returns the bracketing probes.
+func MeasuredLossFreeRate(base Config, sizes trafficgen.SizeDist,
+	loBps, hiBps, tol float64, window sim.Time, steps int) ([]RateProbe, float64, error) {
+	if loBps <= 0 || hiBps <= loBps || steps < 1 {
+		return nil, 0, fmt.Errorf("cluster: bad search range [%g,%g]x%d", loBps, hiBps, steps)
+	}
+	var probes []RateProbe
+	lo, hi := loBps, hiBps
+	// Establish that lo passes and hi fails; if hi passes, it is the answer.
+	pHi, err := probeRate(base, sizes, hi, window)
+	if err != nil {
+		return nil, 0, err
+	}
+	probes = append(probes, pHi)
+	if pHi.LossFraction <= tol {
+		return probes, hi, nil
+	}
+	for i := 0; i < steps; i++ {
+		mid := (lo + hi) / 2
+		p, err := probeRate(base, sizes, mid, window)
+		if err != nil {
+			return nil, 0, err
+		}
+		probes = append(probes, p)
+		if p.LossFraction <= tol {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return probes, lo, nil
+}

@@ -1,0 +1,102 @@
+package cluster
+
+import (
+	"testing"
+
+	"routebricks/internal/sim"
+	"routebricks/internal/trafficgen"
+)
+
+// The architecture scales past the RB4 prototype: an 8-node full mesh
+// (the largest mesh the 8-core MAC-steering trick supports directly)
+// delivers everything with in-order flows and bounded latency.
+func TestEightNodeMesh(t *testing.T) {
+	cfg := RB4Config()
+	cfg.Nodes = 8
+	cfg.Seed = 41
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{
+		OfferedBpsPerNode: 1e9,
+		Sizes:             trafficgen.AbileneMix(),
+		ExcludeSelf:       true,
+		Duration:          10 * sim.Millisecond,
+		Seed:              41,
+	}
+	w.Apply(c)
+	c.Run(w.Duration + sim.Millisecond)
+	c.Drain(30 * sim.Millisecond)
+
+	injected, delivered, rxd, txd, ttl := c.Totals()
+	if delivered != injected {
+		t.Fatalf("delivered %d of %d (rx=%d tx=%d ttl=%d)", delivered, injected, rxd, txd, ttl)
+	}
+	if f := c.Meter.Fraction(); f > 0.005 {
+		t.Fatalf("reordering = %.4f%%", 100*f)
+	}
+	if m := c.Latency.Mean(); m > 120 {
+		t.Fatalf("mean latency = %.1f µs", m)
+	}
+	// With 8 nodes the direct quota is R/8; at this load the matrix is
+	// still near-uniform so most traffic goes direct.
+	if c.Hops[2] == 0 {
+		t.Fatal("no direct deliveries")
+	}
+}
+
+// A 3-node mesh (cores not divisible by nodes) exercises the non-uniform
+// queue-split path.
+func TestThreeNodeMesh(t *testing.T) {
+	cfg := RB4Config()
+	cfg.Nodes = 3
+	cfg.Seed = 42
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{
+		OfferedBpsPerNode: 1e9,
+		Sizes:             trafficgen.Fixed(512),
+		ExcludeSelf:       true,
+		Duration:          8 * sim.Millisecond,
+		Seed:              42,
+	}
+	w.Apply(c)
+	c.Run(w.Duration + sim.Millisecond)
+	c.Drain(30 * sim.Millisecond)
+	injected, delivered, _, _, _ := c.Totals()
+	if delivered != injected {
+		t.Fatalf("delivered %d of %d", delivered, injected)
+	}
+}
+
+// Hairpin traffic (destination on the input node's own port) never
+// enters the mesh: all deliveries are 1-node paths.
+func TestHairpinDelivery(t *testing.T) {
+	cfg := RB4Config()
+	cfg.Seed = 43
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{
+		OfferedBpsPerNode: 0.5e9,
+		Sizes:             trafficgen.Fixed(128),
+		InputNodes:        []int{2},
+		OutputNodes:       []int{2},
+		Duration:          5 * sim.Millisecond,
+		Seed:              43,
+	}
+	w.Apply(c)
+	c.Run(w.Duration + sim.Millisecond)
+	c.Drain(20 * sim.Millisecond)
+	injected, delivered, _, _, _ := c.Totals()
+	if delivered != injected || injected == 0 {
+		t.Fatalf("delivered %d of %d", delivered, injected)
+	}
+	if c.Hops[1] != delivered {
+		t.Fatalf("hairpin hops = %v, want all at 1", c.Hops)
+	}
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"math/rand"
+	"net/netip"
+
+	"routebricks/internal/sim"
+	"routebricks/internal/trafficgen"
+)
+
+// Workload drives traffic into a cluster: per input node, a generator
+// paced at an offered bit rate, with destinations drawn from the FIB
+// prefixes of the chosen output nodes.
+type Workload struct {
+	// OfferedBpsPerNode is the external offered load per input node.
+	OfferedBpsPerNode float64
+	// Sizes is the packet-size mix.
+	Sizes trafficgen.SizeDist
+	// InputNodes lists the nodes receiving external traffic (default all).
+	InputNodes []int
+	// OutputNodes lists the candidate destinations (default all).
+	// Destination addresses are drawn per flow from these nodes' prefixes.
+	OutputNodes []int
+	// ExcludeSelf removes an input node from its own destination pool.
+	ExcludeSelf bool
+	// Duration is how long sources inject.
+	Duration sim.Time
+	Seed     int64
+}
+
+// Apply schedules the workload's packets into the cluster, starting at
+// virtual time 0. It returns the number of packets injected.
+func (w Workload) Apply(c *Cluster) int {
+	nodes := c.cfg.Nodes
+	inputs := w.InputNodes
+	if len(inputs) == 0 {
+		for i := 0; i < nodes; i++ {
+			inputs = append(inputs, i)
+		}
+	}
+	outputs := w.OutputNodes
+	if len(outputs) == 0 {
+		for i := 0; i < nodes; i++ {
+			outputs = append(outputs, i)
+		}
+	}
+	total := 0
+	for _, in := range inputs {
+		rng := rand.New(rand.NewSource(w.Seed*7919 + int64(in)))
+		var pool []netip.Addr
+		for _, out := range outputs {
+			if w.ExcludeSelf && out == in {
+				continue
+			}
+			for k := 0; k < 64; k++ {
+				pool = append(pool, c.NodeAddr(out, uint16(rng.Intn(1<<16))))
+			}
+		}
+		src := trafficgen.New(trafficgen.Config{
+			Seed:     w.Seed ^ int64(in)<<20,
+			Sizes:    w.Sizes,
+			DstAddrs: pool,
+		})
+		// Pace packets so the byte rate matches the offered load: the
+		// inter-arrival gap follows each packet's own wire time.
+		now := sim.Time(0)
+		for now < w.Duration {
+			p := src.Next()
+			c.Inject(now, in, p)
+			total++
+			gap := float64(p.Len()*8) / w.OfferedBpsPerNode * float64(sim.Second)
+			now += sim.Time(gap)
+		}
+	}
+	return total
+}

@@ -1,0 +1,140 @@
+package elements
+
+import (
+	"net/netip"
+
+	"routebricks/internal/click"
+	"routebricks/internal/pkt"
+)
+
+// ARPResponder answers ARP requests for the addresses it owns — the
+// element a router instantiates per external port. Requests for owned
+// addresses produce replies on output 0; everything else exits output 1.
+type ARPResponder struct {
+	click.Base
+	mac     pkt.MAC
+	owned   map[netip.Addr]bool
+	replies uint64
+}
+
+// NewARPResponder builds a responder owning the given addresses.
+func NewARPResponder(mac pkt.MAC, addrs ...netip.Addr) *ARPResponder {
+	owned := make(map[netip.Addr]bool, len(addrs))
+	for _, a := range addrs {
+		owned[a] = true
+	}
+	return &ARPResponder{mac: mac, owned: owned}
+}
+
+// InPorts reports 1.
+func (r *ARPResponder) InPorts() int { return 1 }
+
+// OutPorts reports 2 (replies, pass-through).
+func (r *ARPResponder) OutPorts() int { return 2 }
+
+// Push answers or passes.
+func (r *ARPResponder) Push(ctx *click.Context, _ int, p *pkt.Packet) {
+	if p.Ether().EtherType() != pkt.EtherTypeARP || !p.ARP().Valid() ||
+		p.ARP().Op() != pkt.ARPRequest || !r.owned[p.ARP().TargetIP()] {
+		r.Out(ctx, 1, p)
+		return
+	}
+	a := p.ARP()
+	reply := pkt.NewARP(pkt.ARPReply, r.mac, a.TargetIP(), a.SenderMAC(), a.SenderIP())
+	r.replies++
+	r.Out(ctx, 0, reply)
+}
+
+// Replies reports how many requests were answered.
+func (r *ARPResponder) Replies() uint64 { return r.replies }
+
+// ARPQuerier resolves next-hop IP addresses to MACs for outgoing IP
+// packets: input 0 takes IP packets (destination resolved against the
+// internal table or queued while a request goes out), input 1 takes ARP
+// replies. Output 0 carries ready-to-send frames (IP packets with
+// resolved destination MACs, and generated ARP requests); output 1 drops
+// packets whose resolution queue overflowed.
+type ARPQuerier struct {
+	click.Base
+	mac   pkt.MAC
+	ip    netip.Addr
+	table map[netip.Addr]pkt.MAC
+	// pending holds packets awaiting resolution, per next hop.
+	pending map[netip.Addr][]*pkt.Packet
+	// PendingLimit bounds each queue (default 8, like Click's ARPQuerier).
+	PendingLimit int
+
+	requests uint64
+	resolved uint64
+	dropped  uint64
+}
+
+// NewARPQuerier builds a querier for a port with the given own MAC/IP.
+func NewARPQuerier(mac pkt.MAC, ip netip.Addr) *ARPQuerier {
+	return &ARPQuerier{
+		mac: mac, ip: ip,
+		table:        make(map[netip.Addr]pkt.MAC),
+		pending:      make(map[netip.Addr][]*pkt.Packet),
+		PendingLimit: 8,
+	}
+}
+
+// InPorts reports 2 (IP packets, ARP replies).
+func (q *ARPQuerier) InPorts() int { return 2 }
+
+// OutPorts reports 2 (wire, overflow drops).
+func (q *ARPQuerier) OutPorts() int { return 2 }
+
+// Push handles both inputs.
+func (q *ARPQuerier) Push(ctx *click.Context, port int, p *pkt.Packet) {
+	if port == 1 {
+		q.handleReply(ctx, p)
+		return
+	}
+	nh := p.IPv4().Dst() // next hop = destination on a directly attached net
+	if mac, ok := q.table[nh]; ok {
+		eh := p.Ether()
+		eh.SetSrc(q.mac)
+		eh.SetDst(mac)
+		q.Out(ctx, 0, p)
+		return
+	}
+	if len(q.pending[nh]) >= q.PendingLimit {
+		q.dropped++
+		q.Out(ctx, 1, p)
+		return
+	}
+	first := len(q.pending[nh]) == 0
+	q.pending[nh] = append(q.pending[nh], p)
+	if first {
+		q.requests++
+		q.Out(ctx, 0, pkt.NewARP(pkt.ARPRequest, q.mac, q.ip, pkt.MAC{}, nh))
+	}
+}
+
+func (q *ARPQuerier) handleReply(ctx *click.Context, p *pkt.Packet) {
+	if p.Ether().EtherType() != pkt.EtherTypeARP || !p.ARP().Valid() || p.ARP().Op() != pkt.ARPReply {
+		return // not ours; drop silently like Click
+	}
+	a := p.ARP()
+	ip := a.SenderIP()
+	mac := a.SenderMAC()
+	q.table[ip] = mac
+	waiting := q.pending[ip]
+	delete(q.pending, ip)
+	for _, w := range waiting {
+		eh := w.Ether()
+		eh.SetSrc(q.mac)
+		eh.SetDst(mac)
+		q.resolved++
+		q.Out(ctx, 0, w)
+	}
+}
+
+// Stats reports (requests sent, packets resolved via a reply, drops).
+func (q *ARPQuerier) Stats() (requests, resolved, dropped uint64) {
+	return q.requests, q.resolved, q.dropped
+}
+
+// CacheSize reports learned entries.
+func (q *ARPQuerier) CacheSize() int { return len(q.table) }

@@ -1,0 +1,166 @@
+package elements
+
+import (
+	"fmt"
+
+	"routebricks/internal/click"
+	"routebricks/internal/hw"
+	"routebricks/internal/lpm"
+	"routebricks/internal/pkt"
+)
+
+// Classifier dispatches packets by EtherType: output i carries packets
+// matching Types[i]; everything else goes to the last output (len(Types)).
+type Classifier struct {
+	click.Base
+	Types []uint16
+}
+
+// NewClassifier builds a classifier over the given EtherTypes.
+func NewClassifier(types ...uint16) *Classifier { return &Classifier{Types: types} }
+
+// InPorts reports 1.
+func (c *Classifier) InPorts() int { return 1 }
+
+// OutPorts reports one port per type plus the default.
+func (c *Classifier) OutPorts() int { return len(c.Types) + 1 }
+
+// Push dispatches by EtherType.
+func (c *Classifier) Push(ctx *click.Context, _ int, p *pkt.Packet) {
+	et := p.Ether().EtherType()
+	for i, t := range c.Types {
+		if et == t {
+			c.Out(ctx, i, p)
+			return
+		}
+	}
+	c.Out(ctx, len(c.Types), p)
+}
+
+// CheckIPHeader validates the IPv4 header (version, IHL, total length,
+// checksum); valid packets exit output 0, invalid output 1. This is the
+// first element of the paper's IP-routing application.
+type CheckIPHeader struct {
+	click.Base
+	valid   uint64
+	invalid uint64
+}
+
+// InPorts reports 1.
+func (c *CheckIPHeader) InPorts() int { return 1 }
+
+// OutPorts reports 2 (good, bad).
+func (c *CheckIPHeader) OutPorts() int { return 2 }
+
+// Push validates the header.
+func (c *CheckIPHeader) Push(ctx *click.Context, _ int, p *pkt.Packet) {
+	if len(p.Data) < pkt.EtherHdrLen+pkt.IPv4HdrLen {
+		c.invalid++
+		c.Out(ctx, 1, p)
+		return
+	}
+	h := p.IPv4()
+	ok := h.Version() == 4 &&
+		h.IHL() == 5 &&
+		int(h.TotalLength()) <= p.Len()-pkt.EtherHdrLen &&
+		int(h.TotalLength()) >= pkt.IPv4HdrLen &&
+		h.VerifyChecksum()
+	if !ok {
+		c.invalid++
+		c.Out(ctx, 1, p)
+		return
+	}
+	c.valid++
+	c.Out(ctx, 0, p)
+}
+
+// Stats reports (valid, invalid) counts.
+func (c *CheckIPHeader) Stats() (valid, invalid uint64) { return c.valid, c.invalid }
+
+// DecIPTTL decrements the TTL with an RFC 1141 incremental checksum
+// update; live packets exit output 0, expired ones output 1.
+type DecIPTTL struct {
+	click.Base
+	expired uint64
+}
+
+// InPorts reports 1.
+func (d *DecIPTTL) InPorts() int { return 1 }
+
+// OutPorts reports 2 (live, expired).
+func (d *DecIPTTL) OutPorts() int { return 2 }
+
+// Push decrements the TTL.
+func (d *DecIPTTL) Push(ctx *click.Context, _ int, p *pkt.Packet) {
+	if !p.IPv4().DecTTL() {
+		d.expired++
+		d.Out(ctx, 1, p)
+		return
+	}
+	d.Out(ctx, 0, p)
+}
+
+// Expired reports how many packets hit TTL 0.
+func (d *DecIPTTL) Expired() uint64 { return d.expired }
+
+// LPMLookup performs the destination-address longest-prefix-match and
+// annotates the packet with the resulting next hop (Click's D-lookup
+// element over a 256K-entry table, §5.1). Hits exit output 0 with
+// p.NextHop set; misses exit output 1. The element charges the routing
+// delta of the calibrated cost model.
+type LPMLookup struct {
+	click.Base
+	Table  lpm.Engine
+	misses uint64
+}
+
+// NewLPMLookup wraps a route table.
+func NewLPMLookup(table lpm.Engine) *LPMLookup { return &LPMLookup{Table: table} }
+
+// InPorts reports 1.
+func (l *LPMLookup) InPorts() int { return 1 }
+
+// OutPorts reports 2 (hit, miss).
+func (l *LPMLookup) OutPorts() int { return 2 }
+
+// Push looks up the destination.
+func (l *LPMLookup) Push(ctx *click.Context, _ int, p *pkt.Packet) {
+	ctx.Charge(hw.RouteExtraCycles())
+	hop := l.Table.Lookup(p.IPv4().DstUint32())
+	if hop == lpm.NoRoute {
+		l.misses++
+		l.Out(ctx, 1, p)
+		return
+	}
+	p.NextHop = hop
+	l.Out(ctx, 0, p)
+}
+
+// Misses reports lookup failures.
+func (l *LPMLookup) Misses() uint64 { return l.misses }
+
+// HopSwitch fans packets out by their NextHop annotation: packet with
+// NextHop h exits output h. Out-of-range hops are a configuration error
+// and panic, because silently misrouting packets would corrupt every
+// downstream measurement.
+type HopSwitch struct {
+	click.Base
+	N int // number of outputs
+}
+
+// NewHopSwitch builds a switch with n outputs.
+func NewHopSwitch(n int) *HopSwitch { return &HopSwitch{N: n} }
+
+// InPorts reports 1.
+func (h *HopSwitch) InPorts() int { return 1 }
+
+// OutPorts reports N.
+func (h *HopSwitch) OutPorts() int { return h.N }
+
+// Push routes by annotation.
+func (h *HopSwitch) Push(ctx *click.Context, _ int, p *pkt.Packet) {
+	if p.NextHop < 0 || p.NextHop >= h.N {
+		panic(fmt.Sprintf("elements: HopSwitch(%d) got next hop %d", h.N, p.NextHop))
+	}
+	h.Out(ctx, p.NextHop, p)
+}

@@ -1,0 +1,106 @@
+package elements
+
+import (
+	"net/netip"
+
+	"routebricks/internal/click"
+	"routebricks/internal/pkt"
+)
+
+// ICMPError converts each incoming packet into the corresponding ICMP
+// error addressed to the packet's source — wired to DecIPTTL's expired
+// output it makes the router send time-exceeded messages (what
+// traceroute relies on), and to a fragmenter's DF-drop output it
+// produces the "fragmentation needed" errors of PMTU discovery.
+// Output 0 carries the generated error packet.
+type ICMPError struct {
+	click.Base
+	Src       netip.Addr // this router's address
+	Type      uint8
+	Code      uint8
+	generated uint64
+}
+
+// NewICMPError builds the element.
+func NewICMPError(src netip.Addr, icmpType, icmpCode uint8) *ICMPError {
+	return &ICMPError{Src: src, Type: icmpType, Code: icmpCode}
+}
+
+// InPorts reports 1.
+func (e *ICMPError) InPorts() int { return 1 }
+
+// OutPorts reports 1.
+func (e *ICMPError) OutPorts() int { return 1 }
+
+// Push generates the error; the offending packet itself is dropped, as a
+// real router would after quoting it.
+func (e *ICMPError) Push(ctx *click.Context, _ int, p *pkt.Packet) {
+	e.generated++
+	e.Out(ctx, 0, pkt.NewICMPError(p, e.Src, e.Type, e.Code))
+}
+
+// Generated reports how many errors were produced.
+func (e *ICMPError) Generated() uint64 { return e.generated }
+
+// Fragmenter splits oversized IPv4 packets to fit an MTU (bytes of IP
+// datagram, header included). Fragments exit output 0; packets with the
+// DF bit set that would need fragmenting exit output 1 (for an ICMPError
+// "fragmentation needed" element).
+type Fragmenter struct {
+	click.Base
+	MTU     int
+	frags   uint64
+	dfDrops uint64
+}
+
+// NewFragmenter builds the element.
+func NewFragmenter(mtu int) *Fragmenter { return &Fragmenter{MTU: mtu} }
+
+// InPorts reports 1.
+func (f *Fragmenter) InPorts() int { return 1 }
+
+// OutPorts reports 2.
+func (f *Fragmenter) OutPorts() int { return 2 }
+
+// Push fragments as needed.
+func (f *Fragmenter) Push(ctx *click.Context, _ int, p *pkt.Packet) {
+	if int(p.IPv4().TotalLength()) <= f.MTU {
+		f.Out(ctx, 0, p)
+		return
+	}
+	if p.IPv4().DF() {
+		f.dfDrops++
+		f.Out(ctx, 1, p)
+		return
+	}
+	frags := p.Fragment(f.MTU)
+	f.frags += uint64(len(frags))
+	for _, fr := range frags {
+		f.Out(ctx, 0, fr)
+	}
+}
+
+// Stats reports (fragments emitted, DF-diverted packets).
+func (f *Fragmenter) Stats() (frags, dfDrops uint64) { return f.frags, f.dfDrops }
+
+// EtherMirror swaps source and destination MAC addresses — the classic
+// reflector used to answer pings in toy configurations and to bounce
+// traffic in loopback tests.
+type EtherMirror struct {
+	click.Base
+}
+
+// InPorts reports 1.
+func (e *EtherMirror) InPorts() int { return 1 }
+
+// OutPorts reports 1.
+func (e *EtherMirror) OutPorts() int { return 1 }
+
+// Push swaps and forwards.
+func (e *EtherMirror) Push(ctx *click.Context, _ int, p *pkt.Packet) {
+	eh := p.Ether()
+	src, dst := eh.Src(), eh.Dst()
+	eh.SetSrc(dst)
+	eh.SetDst(src)
+	e.Out(ctx, 0, p)
+}

@@ -1,0 +1,165 @@
+package elements
+
+import (
+	"testing"
+
+	"routebricks/internal/click"
+	"routebricks/internal/pkt"
+)
+
+func TestICMPErrorElement(t *testing.T) {
+	gen := NewICMPError(addr("192.0.2.1"), pkt.ICMPTimeExceeded, pkt.ICMPCodeTTLExpired)
+	c := newCapture()
+	wireOut(gen, 0, c, 0)
+	orig := testPacket(128, "10.9.9.9")
+	gen.Push(&click.Context{}, 0, orig)
+	if gen.Generated() != 1 || len(c.ports[0]) != 1 {
+		t.Fatal("no error generated")
+	}
+	e := c.ports[0][0]
+	if e.IPv4().Protocol() != pkt.ProtoICMP {
+		t.Fatal("not ICMP")
+	}
+	if e.IPv4().Dst() != addr("10.0.0.1") {
+		t.Fatalf("error addressed to %v, want original source", e.IPv4().Dst())
+	}
+	if e.ICMP().Type() != pkt.ICMPTimeExceeded {
+		t.Fatalf("type = %d", e.ICMP().Type())
+	}
+}
+
+// The classic traceroute path: TTL expiry at the router produces a
+// time-exceeded error through the element graph.
+func TestTTLExpiryGeneratesICMP(t *testing.T) {
+	ttl := &DecIPTTL{}
+	icmp := NewICMPError(addr("192.0.2.1"), pkt.ICMPTimeExceeded, pkt.ICMPCodeTTLExpired)
+	c := newCapture()
+	ttl.SetOutput(0, func(ctx *click.Context, p *pkt.Packet) {})
+	ttl.SetOutput(1, func(ctx *click.Context, p *pkt.Packet) { icmp.Push(ctx, 0, p) })
+	wireOut(icmp, 0, c, 0)
+
+	p := testPacket(64, "10.9.9.9")
+	p.IPv4().SetTTL(1)
+	p.IPv4().UpdateChecksum()
+	ttl.Push(&click.Context{}, 0, p)
+	if len(c.ports[0]) != 1 {
+		t.Fatal("TTL expiry produced no ICMP error")
+	}
+}
+
+func TestFragmenterSplitsAndDF(t *testing.T) {
+	f := NewFragmenter(576)
+	c := newCapture()
+	wireOut(f, 0, c, 0)
+	wireOut(f, 1, c, 1)
+	ctx := &click.Context{}
+
+	small := testPacket(200, "10.0.0.2")
+	f.Push(ctx, 0, small)
+	if len(c.ports[0]) != 1 || c.ports[0][0] != small {
+		t.Fatal("small packet mangled")
+	}
+
+	big := testPacket(1400, "10.0.0.2")
+	f.Push(ctx, 0, big)
+	if len(c.ports[0]) < 3 {
+		t.Fatalf("big packet produced %d fragments", len(c.ports[0])-1)
+	}
+	for _, fr := range c.ports[0][1:] {
+		if int(fr.IPv4().TotalLength()) > 576 {
+			t.Fatal("fragment exceeds MTU")
+		}
+		if !fr.IPv4().VerifyChecksum() {
+			t.Fatal("fragment checksum invalid")
+		}
+	}
+
+	df := testPacket(1400, "10.0.0.2")
+	df.IPv4().SetFlagsOffset(pkt.FlagDF)
+	df.IPv4().UpdateChecksum()
+	f.Push(ctx, 0, df)
+	if len(c.ports[1]) != 1 {
+		t.Fatal("DF packet not diverted")
+	}
+	frags, dfd := f.Stats()
+	if frags < 3 || dfd != 1 {
+		t.Fatalf("stats = %d/%d", frags, dfd)
+	}
+}
+
+// Fragmentation-needed via PMTU: fragmenter DF output → ICMP error.
+func TestPMTUDiscoveryPath(t *testing.T) {
+	f := NewFragmenter(576)
+	icmp := NewICMPError(addr("192.0.2.1"), pkt.ICMPDestUnreach, pkt.ICMPCodeFragNeeded)
+	c := newCapture()
+	wireOut(f, 0, c, 0)
+	f.SetOutput(1, func(ctx *click.Context, p *pkt.Packet) { icmp.Push(ctx, 0, p) })
+	wireOut(icmp, 0, c, 2)
+
+	df := testPacket(1400, "10.0.0.2")
+	df.IPv4().SetFlagsOffset(pkt.FlagDF)
+	df.IPv4().UpdateChecksum()
+	f.Push(&click.Context{}, 0, df)
+	if len(c.ports[2]) != 1 {
+		t.Fatal("no fragmentation-needed error")
+	}
+	e := c.ports[2][0]
+	if e.ICMP().Type() != pkt.ICMPDestUnreach || e.ICMP().Code() != pkt.ICMPCodeFragNeeded {
+		t.Fatalf("wrong error %d/%d", e.ICMP().Type(), e.ICMP().Code())
+	}
+}
+
+func TestEtherMirror(t *testing.T) {
+	m := &EtherMirror{}
+	c := newCapture()
+	wireOut(m, 0, c, 0)
+	p := testPacket(64, "10.0.0.2")
+	p.Ether().SetSrc(pkt.MAC{1, 1, 1, 1, 1, 1})
+	p.Ether().SetDst(pkt.MAC{2, 2, 2, 2, 2, 2})
+	m.Push(&click.Context{}, 0, p)
+	got := c.ports[0][0]
+	if got.Ether().Src() != (pkt.MAC{2, 2, 2, 2, 2, 2}) || got.Ether().Dst() != (pkt.MAC{1, 1, 1, 1, 1, 1}) {
+		t.Fatal("MACs not swapped")
+	}
+}
+
+func TestRegistryBuildsEverything(t *testing.T) {
+	reg := StandardRegistry()
+	cases := map[string][]string{
+		"Counter":       nil,
+		"Discard":       nil,
+		"CheckIPHeader": nil,
+		"DecIPTTL":      nil,
+		"Stamp":         nil,
+		"Tee":           {"3"},
+		"HopSwitch":     {"4"},
+		"Paint":         {"7"},
+		"PaintSwitch":   {"2"},
+		"SetEtherDst":   {"5"},
+		"Classifier":    {"0x0800", "0x88B5"},
+	}
+	for class, args := range cases {
+		f, ok := reg[class]
+		if !ok {
+			t.Errorf("class %s missing", class)
+			continue
+		}
+		el, err := f(args)
+		if err != nil || el == nil {
+			t.Errorf("%s(%v): %v", class, args, err)
+		}
+	}
+	// Error paths.
+	if _, err := reg["Tee"](nil); err == nil {
+		t.Error("Tee without arity rejected... accepted")
+	}
+	if _, err := reg["Counter"]([]string{"1"}); err == nil {
+		t.Error("Counter with argument accepted")
+	}
+	if _, err := reg["Classifier"]([]string{"zzz"}); err == nil {
+		t.Error("bad EtherType accepted")
+	}
+	if _, err := reg["HopSwitch"]([]string{"x"}); err == nil {
+		t.Error("bad int accepted")
+	}
+}

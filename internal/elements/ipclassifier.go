@@ -1,0 +1,278 @@
+package elements
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+
+	"routebricks/internal/click"
+	"routebricks/internal/pkt"
+)
+
+// IPClassifier dispatches IPv4 packets by predicate rules, Click's
+// IPClassifier/IPFilter in miniature. Each rule is compiled once; a
+// packet exits at the output of the first matching rule, or at the extra
+// last output if none match.
+//
+// The predicate language:
+//
+//	proto tcp | udp | icmp | esp | <number>
+//	src host 10.0.0.1        dst host 10.0.0.2
+//	src net 10.0.0.0/8       dst net 192.168.0.0/16
+//	src port 80              dst port 443        port 53
+//	true | false
+//
+// combined with 'and'/'&&', 'or'/'||', 'not'/'!' and parentheses.
+// Precedence: not > and > or.
+type IPClassifier struct {
+	click.Base
+	rules   []Predicate
+	matched []uint64
+}
+
+// Predicate is a compiled packet test.
+type Predicate func(*pkt.Packet) bool
+
+// NewIPClassifier compiles the rules; it fails on the first syntax error.
+func NewIPClassifier(rules ...string) (*IPClassifier, error) {
+	c := &IPClassifier{matched: make([]uint64, len(rules)+1)}
+	for i, r := range rules {
+		p, err := CompilePredicate(r)
+		if err != nil {
+			return nil, fmt.Errorf("elements: rule %d: %w", i, err)
+		}
+		c.rules = append(c.rules, p)
+	}
+	return c, nil
+}
+
+// InPorts reports 1.
+func (c *IPClassifier) InPorts() int { return 1 }
+
+// OutPorts reports one output per rule plus the no-match output.
+func (c *IPClassifier) OutPorts() int { return len(c.rules) + 1 }
+
+// Push dispatches to the first matching rule.
+func (c *IPClassifier) Push(ctx *click.Context, _ int, p *pkt.Packet) {
+	for i, rule := range c.rules {
+		if rule(p) {
+			c.matched[i]++
+			c.Out(ctx, i, p)
+			return
+		}
+	}
+	c.matched[len(c.rules)]++
+	c.Out(ctx, len(c.rules), p)
+}
+
+// Matched reports per-output match counts (last = no-match).
+func (c *IPClassifier) Matched() []uint64 {
+	out := make([]uint64, len(c.matched))
+	copy(out, c.matched)
+	return out
+}
+
+// CompilePredicate compiles one predicate expression.
+func CompilePredicate(text string) (Predicate, error) {
+	toks := tokenizePredicate(text)
+	p := &predParser{toks: toks}
+	pred, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.done() {
+		return nil, fmt.Errorf("trailing tokens at %q", strings.Join(p.toks[p.pos:], " "))
+	}
+	return pred, nil
+}
+
+func tokenizePredicate(text string) []string {
+	text = strings.ReplaceAll(text, "(", " ( ")
+	text = strings.ReplaceAll(text, ")", " ) ")
+	text = strings.ReplaceAll(text, "&&", " and ")
+	text = strings.ReplaceAll(text, "||", " or ")
+	text = strings.ReplaceAll(text, "!", " not ")
+	return strings.Fields(strings.ToLower(text))
+}
+
+type predParser struct {
+	toks []string
+	pos  int
+}
+
+func (p *predParser) done() bool { return p.pos >= len(p.toks) }
+
+func (p *predParser) peek() string {
+	if p.done() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *predParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *predParser) parseOr() (Predicate, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "or" {
+		p.next()
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l := left
+		left = func(pk *pkt.Packet) bool { return l(pk) || right(pk) }
+	}
+	return left, nil
+}
+
+func (p *predParser) parseAnd() (Predicate, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "and" {
+		p.next()
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l := left
+		left = func(pk *pkt.Packet) bool { return l(pk) && right(pk) }
+	}
+	return left, nil
+}
+
+func (p *predParser) parseNot() (Predicate, error) {
+	if p.peek() == "not" {
+		p.next()
+		inner, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return func(pk *pkt.Packet) bool { return !inner(pk) }, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *predParser) parsePrimary() (Predicate, error) {
+	switch tok := p.next(); tok {
+	case "(":
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		if p.next() != ")" {
+			return nil, fmt.Errorf("missing ')'")
+		}
+		return inner, nil
+	case "true":
+		return func(*pkt.Packet) bool { return true }, nil
+	case "false":
+		return func(*pkt.Packet) bool { return false }, nil
+	case "proto":
+		return p.parseProto()
+	case "src", "dst":
+		return p.parseAddrOrPort(tok)
+	case "port":
+		n, err := p.parseInt("port")
+		if err != nil {
+			return nil, err
+		}
+		want := uint16(n)
+		return func(pk *pkt.Packet) bool {
+			k := pk.Flow()
+			return k.SrcPort == want || k.DstPort == want
+		}, nil
+	case "":
+		return nil, fmt.Errorf("unexpected end of predicate")
+	default:
+		return nil, fmt.Errorf("unexpected token %q", tok)
+	}
+}
+
+var protoNames = map[string]uint8{
+	"tcp": pkt.ProtoTCP, "udp": pkt.ProtoUDP, "icmp": pkt.ProtoICMP, "esp": pkt.ProtoESP,
+}
+
+func (p *predParser) parseProto() (Predicate, error) {
+	tok := p.next()
+	want, ok := protoNames[tok]
+	if !ok {
+		n, err := strconv.Atoi(tok)
+		if err != nil || n < 0 || n > 255 {
+			return nil, fmt.Errorf("bad protocol %q", tok)
+		}
+		want = uint8(n)
+	}
+	return func(pk *pkt.Packet) bool { return pk.IPv4().Protocol() == want }, nil
+}
+
+func (p *predParser) parseAddrOrPort(side string) (Predicate, error) {
+	src := side == "src"
+	switch kind := p.next(); kind {
+	case "host":
+		a, err := netip.ParseAddr(p.next())
+		if err != nil || !a.Is4() {
+			return nil, fmt.Errorf("bad host address")
+		}
+		b := a.As4()
+		want := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+		return func(pk *pkt.Packet) bool {
+			if src {
+				return pk.IPv4().SrcUint32() == want
+			}
+			return pk.IPv4().DstUint32() == want
+		}, nil
+	case "net":
+		pre, err := netip.ParsePrefix(p.next())
+		if err != nil || !pre.Addr().Is4() {
+			return nil, fmt.Errorf("bad network prefix")
+		}
+		b := pre.Addr().As4()
+		bits := pre.Bits()
+		var mask uint32
+		if bits > 0 {
+			mask = ^uint32(0) << (32 - bits)
+		}
+		want := (uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])) & mask
+		return func(pk *pkt.Packet) bool {
+			v := pk.IPv4().DstUint32()
+			if src {
+				v = pk.IPv4().SrcUint32()
+			}
+			return v&mask == want
+		}, nil
+	case "port":
+		n, err := p.parseInt("port")
+		if err != nil {
+			return nil, err
+		}
+		want := uint16(n)
+		return func(pk *pkt.Packet) bool {
+			k := pk.Flow()
+			if src {
+				return k.SrcPort == want
+			}
+			return k.DstPort == want
+		}, nil
+	default:
+		return nil, fmt.Errorf("expected host/net/port after %q, got %q", side, kind)
+	}
+}
+
+func (p *predParser) parseInt(what string) (int, error) {
+	tok := p.next()
+	n, err := strconv.Atoi(tok)
+	if err != nil || n < 0 || n > 65535 {
+		return 0, fmt.Errorf("bad %s %q", what, tok)
+	}
+	return n, nil
+}

@@ -1,0 +1,155 @@
+package elements
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"routebricks/internal/click"
+	"routebricks/internal/pkt"
+)
+
+func mk(src, dst string, sport, dport uint16, proto uint8) *pkt.Packet {
+	p := pkt.New(64, netip.MustParseAddr(src), netip.MustParseAddr(dst), sport, dport)
+	p.IPv4().SetProtocol(proto)
+	p.IPv4().UpdateChecksum()
+	return p
+}
+
+func TestPredicates(t *testing.T) {
+	cases := []struct {
+		expr string
+		pkt  *pkt.Packet
+		want bool
+	}{
+		{"proto udp", mk("1.1.1.1", "2.2.2.2", 1, 2, pkt.ProtoUDP), true},
+		{"proto tcp", mk("1.1.1.1", "2.2.2.2", 1, 2, pkt.ProtoUDP), false},
+		{"proto 17", mk("1.1.1.1", "2.2.2.2", 1, 2, pkt.ProtoUDP), true},
+		{"src host 1.1.1.1", mk("1.1.1.1", "2.2.2.2", 1, 2, pkt.ProtoUDP), true},
+		{"dst host 1.1.1.1", mk("1.1.1.1", "2.2.2.2", 1, 2, pkt.ProtoUDP), false},
+		{"src net 10.0.0.0/8", mk("10.200.3.4", "2.2.2.2", 1, 2, pkt.ProtoUDP), true},
+		{"src net 10.0.0.0/8", mk("11.0.0.1", "2.2.2.2", 1, 2, pkt.ProtoUDP), false},
+		{"dst net 2.2.0.0/16", mk("1.1.1.1", "2.2.9.9", 1, 2, pkt.ProtoUDP), true},
+		{"dst port 80", mk("1.1.1.1", "2.2.2.2", 5000, 80, pkt.ProtoUDP), true},
+		{"src port 80", mk("1.1.1.1", "2.2.2.2", 5000, 80, pkt.ProtoUDP), false},
+		{"port 80", mk("1.1.1.1", "2.2.2.2", 80, 443, pkt.ProtoUDP), true},
+		{"port 81", mk("1.1.1.1", "2.2.2.2", 80, 443, pkt.ProtoUDP), false},
+		{"true", mk("1.1.1.1", "2.2.2.2", 1, 2, pkt.ProtoUDP), true},
+		{"false", mk("1.1.1.1", "2.2.2.2", 1, 2, pkt.ProtoUDP), false},
+		{"proto udp and dst port 53", mk("1.1.1.1", "2.2.2.2", 9, 53, pkt.ProtoUDP), true},
+		{"proto tcp or dst port 53", mk("1.1.1.1", "2.2.2.2", 9, 53, pkt.ProtoUDP), true},
+		{"proto tcp && dst port 53", mk("1.1.1.1", "2.2.2.2", 9, 53, pkt.ProtoUDP), false},
+		{"not proto tcp", mk("1.1.1.1", "2.2.2.2", 1, 2, pkt.ProtoUDP), true},
+		{"!proto udp", mk("1.1.1.1", "2.2.2.2", 1, 2, pkt.ProtoUDP), false},
+		{"(proto tcp or proto udp) and src net 10.0.0.0/8",
+			mk("10.1.1.1", "2.2.2.2", 1, 2, pkt.ProtoUDP), true},
+		{"(proto tcp or proto udp) and src net 10.0.0.0/8",
+			mk("11.1.1.1", "2.2.2.2", 1, 2, pkt.ProtoUDP), false},
+		// Precedence: and binds tighter than or.
+		{"proto tcp and port 1 or proto udp", mk("1.1.1.1", "2.2.2.2", 5, 6, pkt.ProtoUDP), true},
+	}
+	for _, c := range cases {
+		pred, err := CompilePredicate(c.expr)
+		if err != nil {
+			t.Fatalf("%q: %v", c.expr, err)
+		}
+		if got := pred(c.pkt); got != c.want {
+			t.Errorf("%q = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestPredicateSyntaxErrors(t *testing.T) {
+	for _, expr := range []string{
+		"", "proto", "proto zebra", "src", "src host", "src host banana",
+		"src net 10.0.0.0", "port x", "port 99999", "proto udp extra",
+		"(proto udp", "proto udp)", "src port", "and", "src teapot 1",
+	} {
+		if _, err := CompilePredicate(expr); err == nil {
+			t.Errorf("%q compiled without error", expr)
+		}
+	}
+}
+
+func TestIPClassifierElement(t *testing.T) {
+	cl, err := NewIPClassifier(
+		"proto udp and dst port 53",
+		"proto tcp",
+		"src net 10.0.0.0/8",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.OutPorts() != 4 {
+		t.Fatalf("OutPorts = %d", cl.OutPorts())
+	}
+	c := newCapture()
+	for i := 0; i < 4; i++ {
+		wireOut(cl, i, c, i)
+	}
+	ctx := &click.Context{}
+	cl.Push(ctx, 0, mk("9.9.9.9", "8.8.8.8", 999, 53, pkt.ProtoUDP)) // rule 0
+	cl.Push(ctx, 0, mk("9.9.9.9", "8.8.8.8", 999, 80, pkt.ProtoTCP)) // rule 1
+	cl.Push(ctx, 0, mk("10.1.1.1", "8.8.8.8", 1, 2, pkt.ProtoUDP))   // rule 2
+	cl.Push(ctx, 0, mk("9.9.9.9", "8.8.8.8", 1, 2, pkt.ProtoUDP))    // no match
+	// First match wins: a TCP packet from 10/8 exits at rule 1, not 2.
+	cl.Push(ctx, 0, mk("10.1.1.1", "8.8.8.8", 1, 2, pkt.ProtoTCP))
+
+	want := []int{1, 2, 1, 1}
+	for i, n := range want {
+		if len(c.ports[i]) != n {
+			t.Errorf("output %d got %d packets, want %d", i, len(c.ports[i]), n)
+		}
+	}
+	m := cl.Matched()
+	if m[0] != 1 || m[1] != 2 || m[2] != 1 || m[3] != 1 {
+		t.Errorf("Matched = %v", m)
+	}
+}
+
+func TestIPClassifierBadRule(t *testing.T) {
+	if _, err := NewIPClassifier("proto udp", "garbage in"); err == nil {
+		t.Fatal("bad rule accepted")
+	}
+}
+
+// Property: 'not' is an involution and De Morgan holds for compiled
+// predicates over random packets.
+func TestPropertyPredicateAlgebra(t *testing.T) {
+	a, _ := CompilePredicate("src net 10.0.0.0/8")
+	b, _ := CompilePredicate("dst port 80")
+	notA, _ := CompilePredicate("not src net 10.0.0.0/8")
+	notNotA, _ := CompilePredicate("not not src net 10.0.0.0/8")
+	andAB, _ := CompilePredicate("src net 10.0.0.0/8 and dst port 80")
+	deMorgan, _ := CompilePredicate("not (not src net 10.0.0.0/8 or not dst port 80)")
+
+	f := func(s, d uint32, sp, dp uint16) bool {
+		p := mk(u32ip(s), u32ip(d), sp, dp, pkt.ProtoUDP)
+		if notA(p) == a(p) {
+			return false
+		}
+		if notNotA(p) != a(p) {
+			return false
+		}
+		if andAB(p) != (a(p) && b(p)) {
+			return false
+		}
+		return deMorgan(p) == andAB(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func u32ip(v uint32) string {
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}).String()
+}
+
+func BenchmarkPredicate(b *testing.B) {
+	pred, _ := CompilePredicate("(proto tcp or proto udp) and src net 10.0.0.0/8 and dst port 80")
+	p := mk("10.1.1.1", "2.2.2.2", 5000, 80, pkt.ProtoUDP)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pred(p)
+	}
+}

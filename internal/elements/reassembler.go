@@ -1,0 +1,150 @@
+package elements
+
+import (
+	"routebricks/internal/click"
+	"routebricks/internal/pkt"
+)
+
+// Reassembler reverses IP fragmentation (RFC 791 §3.2): fragments are
+// collected per (src, dst, id, proto) until the datagram is complete,
+// then emitted as one packet on output 0. Unfragmented packets pass
+// straight through. Incomplete datagrams are evicted after Timeout
+// nanoseconds of inactivity (checked lazily on traffic) and their
+// fragments are dropped and counted.
+type Reassembler struct {
+	click.Base
+	// TimeoutNs evicts stale partial datagrams (default 30 s, the classic
+	// reassembly timer).
+	TimeoutNs int64
+
+	partial map[fragKey]*partialDatagram
+
+	completed uint64
+	timedOut  uint64
+}
+
+type fragKey struct {
+	src, dst uint32
+	id       uint16
+	proto    uint8
+}
+
+type partialDatagram struct {
+	first    *pkt.Packet // fragment with offset 0, holds the headers
+	payload  []byte
+	have     []bool // per 8-byte block
+	totalLen int    // payload length, known once the last fragment arrives
+	lastSeen int64
+}
+
+// NewReassembler builds the element.
+func NewReassembler() *Reassembler {
+	return &Reassembler{
+		TimeoutNs: 30e9,
+		partial:   make(map[fragKey]*partialDatagram),
+	}
+}
+
+// InPorts reports 1.
+func (r *Reassembler) InPorts() int { return 1 }
+
+// OutPorts reports 1.
+func (r *Reassembler) OutPorts() int { return 1 }
+
+// Completed reports reassembled datagrams.
+func (r *Reassembler) Completed() uint64 { return r.completed }
+
+// TimedOut reports evicted partial datagrams.
+func (r *Reassembler) TimedOut() uint64 { return r.timedOut }
+
+// Pending reports partial datagrams currently held.
+func (r *Reassembler) Pending() int { return len(r.partial) }
+
+// Push collects fragments.
+func (r *Reassembler) Push(ctx *click.Context, _ int, p *pkt.Packet) {
+	ih := p.IPv4()
+	if !ih.MF() && ih.FragOffset() == 0 {
+		r.Out(ctx, 0, p) // not fragmented
+		return
+	}
+	now := ctx.Now()
+	r.evict(now)
+
+	key := fragKey{src: ih.SrcUint32(), dst: ih.DstUint32(), id: ih.ID(), proto: ih.Protocol()}
+	pd := r.partial[key]
+	if pd == nil {
+		pd = &partialDatagram{
+			// 64 KB is the IPv4 maximum; allocate lazily in blocks.
+			payload: make([]byte, 0),
+			have:    make([]bool, 8192), // 65536/8 blocks
+		}
+		r.partial[key] = pd
+	}
+	pd.lastSeen = now
+
+	off := ih.FragOffset()
+	data := p.Data[pkt.EtherHdrLen+pkt.IPv4HdrLen : pkt.EtherHdrLen+int(ih.TotalLength())]
+	if need := off + len(data); need > len(pd.payload) {
+		grown := make([]byte, need)
+		copy(grown, pd.payload)
+		pd.payload = grown
+	}
+	copy(pd.payload[off:], data)
+	for b := off / 8; b <= (off+len(data)-1)/8 && b < len(pd.have); b++ {
+		pd.have[b] = true
+	}
+	if off == 0 {
+		pd.first = p
+	}
+	if !ih.MF() {
+		pd.totalLen = off + len(data)
+	}
+
+	if pd.totalLen > 0 && pd.first != nil && r.complete(pd) {
+		delete(r.partial, key)
+		r.completed++
+		r.Out(ctx, 0, r.rebuild(pd))
+	}
+}
+
+// complete reports whether every 8-byte block up to totalLen is present.
+func (r *Reassembler) complete(pd *partialDatagram) bool {
+	blocks := (pd.totalLen + 7) / 8
+	for b := 0; b < blocks; b++ {
+		if !pd.have[b] {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuild assembles the full datagram from the first fragment's headers
+// and the collected payload.
+func (r *Reassembler) rebuild(pd *partialDatagram) *pkt.Packet {
+	out := &pkt.Packet{
+		Data:      make([]byte, pkt.EtherHdrLen+pkt.IPv4HdrLen+pd.totalLen),
+		Arrival:   pd.first.Arrival,
+		InputPort: pd.first.InputPort,
+		SeqNo:     pd.first.SeqNo,
+	}
+	copy(out.Data[:pkt.EtherHdrLen+pkt.IPv4HdrLen], pd.first.Data[:pkt.EtherHdrLen+pkt.IPv4HdrLen])
+	copy(out.Data[pkt.EtherHdrLen+pkt.IPv4HdrLen:], pd.payload[:pd.totalLen])
+	ih := out.IPv4()
+	ih.SetTotalLength(uint16(pkt.IPv4HdrLen + pd.totalLen))
+	ih.SetFlagsOffset(0)
+	ih.UpdateChecksum()
+	return out
+}
+
+// evict drops partial datagrams idle past the timeout.
+func (r *Reassembler) evict(now int64) {
+	if now == 0 {
+		return // untimed context: no eviction
+	}
+	for k, pd := range r.partial {
+		if now-pd.lastSeen > r.TimeoutNs {
+			delete(r.partial, k)
+			r.timedOut++
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package elements
+
+import (
+	"fmt"
+	"strconv"
+
+	"routebricks/internal/click"
+	"routebricks/internal/pkt"
+)
+
+// StandardRegistry exposes the element library to Click-language
+// configurations (click.ParseConfig). Elements that need runtime
+// resources — device rings, route tables, crypto tunnels — are passed to
+// the parser as prebound instances instead of being constructed from
+// text.
+func StandardRegistry() click.Registry {
+	return click.Registry{
+		"Counter": func(args []string) (click.Element, error) {
+			if err := arity("Counter", args, 0); err != nil {
+				return nil, err
+			}
+			return &Counter{}, nil
+		},
+		"Discard": func(args []string) (click.Element, error) {
+			if err := arity("Discard", args, 0); err != nil {
+				return nil, err
+			}
+			return &Discard{}, nil
+		},
+		"CheckIPHeader": func(args []string) (click.Element, error) {
+			if err := arity("CheckIPHeader", args, 0); err != nil {
+				return nil, err
+			}
+			return &CheckIPHeader{}, nil
+		},
+		"DecIPTTL": func(args []string) (click.Element, error) {
+			if err := arity("DecIPTTL", args, 0); err != nil {
+				return nil, err
+			}
+			return &DecIPTTL{}, nil
+		},
+		"Stamp": func(args []string) (click.Element, error) {
+			if err := arity("Stamp", args, 0); err != nil {
+				return nil, err
+			}
+			return &Stamp{}, nil
+		},
+		"Tee": func(args []string) (click.Element, error) {
+			n, err := oneInt("Tee", args)
+			if err != nil {
+				return nil, err
+			}
+			return NewTee(n), nil
+		},
+		"HopSwitch": func(args []string) (click.Element, error) {
+			n, err := oneInt("HopSwitch", args)
+			if err != nil {
+				return nil, err
+			}
+			return NewHopSwitch(n), nil
+		},
+		"Paint": func(args []string) (click.Element, error) {
+			n, err := oneInt("Paint", args)
+			if err != nil {
+				return nil, err
+			}
+			return &Paint{Color: byte(n)}, nil
+		},
+		"PaintSwitch": func(args []string) (click.Element, error) {
+			n, err := oneInt("PaintSwitch", args)
+			if err != nil {
+				return nil, err
+			}
+			return &PaintSwitch{N: n}, nil
+		},
+		"SetEtherDst": func(args []string) (click.Element, error) {
+			n, err := oneInt("SetEtherDst", args)
+			if err != nil {
+				return nil, err
+			}
+			return &SetEtherDst{MAC: pkt.NodeMAC(n)}, nil
+		},
+		"IPClassifier": func(args []string) (click.Element, error) {
+			if len(args) == 0 {
+				return nil, fmt.Errorf("IPClassifier needs at least one rule")
+			}
+			return NewIPClassifier(args...)
+		},
+		"EtherMirror": func(args []string) (click.Element, error) {
+			if err := arity("EtherMirror", args, 0); err != nil {
+				return nil, err
+			}
+			return &EtherMirror{}, nil
+		},
+		"Fragmenter": func(args []string) (click.Element, error) {
+			n, err := oneInt("Fragmenter", args)
+			if err != nil {
+				return nil, err
+			}
+			return NewFragmenter(n), nil
+		},
+		"Reassembler": func(args []string) (click.Element, error) {
+			if err := arity("Reassembler", args, 0); err != nil {
+				return nil, err
+			}
+			return NewReassembler(), nil
+		},
+		"Classifier": func(args []string) (click.Element, error) {
+			if len(args) == 0 {
+				return nil, fmt.Errorf("Classifier needs at least one EtherType")
+			}
+			types := make([]uint16, len(args))
+			for i, a := range args {
+				v, err := strconv.ParseUint(a, 0, 16)
+				if err != nil {
+					return nil, fmt.Errorf("Classifier: bad EtherType %q", a)
+				}
+				types[i] = uint16(v)
+			}
+			return NewClassifier(types...), nil
+		},
+	}
+}
+
+func arity(class string, args []string, want int) error {
+	if len(args) != want {
+		return fmt.Errorf("%s takes %d arguments, got %d", class, want, len(args))
+	}
+	return nil
+}
+
+func oneInt(class string, args []string) (int, error) {
+	if len(args) != 1 {
+		return 0, fmt.Errorf("%s takes one integer argument, got %d", class, len(args))
+	}
+	v, err := strconv.Atoi(args[0])
+	if err != nil {
+		return 0, fmt.Errorf("%s: bad argument %q", class, args[0])
+	}
+	return v, nil
+}

@@ -1,0 +1,37 @@
+package elements
+
+import (
+	"routebricks/internal/click"
+	"routebricks/internal/pcap"
+	"routebricks/internal/pkt"
+)
+
+// Tap copies every passing frame into a pcap stream and forwards it
+// unchanged — the capture point used for debugging router configurations
+// with standard analysis tools. Timestamps come from the click Context's
+// clock (virtual nanoseconds in simulations, wall nanoseconds live).
+type Tap struct {
+	click.Base
+	W      *pcap.Writer
+	errors uint64
+}
+
+// NewTap wraps a pcap writer.
+func NewTap(w *pcap.Writer) *Tap { return &Tap{W: w} }
+
+// InPorts reports 1.
+func (t *Tap) InPorts() int { return 1 }
+
+// OutPorts reports 1.
+func (t *Tap) OutPorts() int { return 1 }
+
+// Push captures and forwards.
+func (t *Tap) Push(ctx *click.Context, _ int, p *pkt.Packet) {
+	if err := t.W.WritePacket(ctx.Now(), p.Data); err != nil {
+		t.errors++
+	}
+	t.Out(ctx, 0, p)
+}
+
+// Errors reports failed captures (e.g., a full disk).
+func (t *Tap) Errors() uint64 { return t.errors }

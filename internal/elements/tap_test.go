@@ -1,0 +1,54 @@
+package elements
+
+import (
+	"bytes"
+	"testing"
+
+	"routebricks/internal/click"
+	"routebricks/internal/pcap"
+)
+
+func TestTapCapturesAndForwards(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tap := NewTap(w)
+	c := newCapture()
+	wireOut(tap, 0, c, 0)
+
+	ctx := &click.Context{NowNS: func() int64 { return 5_000_000 }}
+	var frames [][]byte
+	for i := 0; i < 5; i++ {
+		p := testPacket(64+i*10, "10.0.0.9")
+		frames = append(frames, append([]byte(nil), p.Data...))
+		tap.Push(ctx, 0, p)
+	}
+	if len(c.ports[0]) != 5 {
+		t.Fatalf("forwarded %d packets", len(c.ports[0]))
+	}
+	if tap.Errors() != 0 {
+		t.Fatalf("tap errors: %d", tap.Errors())
+	}
+
+	r, err := pcap.NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Fatalf("captured %d records", len(recs))
+	}
+	for i, rec := range recs {
+		if !bytes.Equal(rec.Data, frames[i]) {
+			t.Fatalf("record %d differs from the frame on the wire", i)
+		}
+		if rec.TsNanos != 5_000_000 {
+			t.Fatalf("record %d timestamp = %d", i, rec.TsNanos)
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package experiments
+
+import (
+	"fmt"
+
+	"routebricks/internal/hw"
+	"routebricks/internal/topo"
+	"routebricks/internal/trafficgen"
+)
+
+// AbileneMean is the mean packet size of the synthetic Abilene workload,
+// shared with the trafficgen mix.
+var AbileneMean = trafficgen.AbileneMix().Mean()
+
+// Table1 reproduces the polling-configuration table: forwarding rate at
+// 64 B under (kp, kn) ∈ {(1,1), (32,1), (32,16)}.
+func Table1() *Report {
+	r := &Report{
+		ID:    "table1",
+		Title: "Forwarding rate by polling configuration (64 B, 8 cores)",
+		Head:  []string{"configuration", "model Gbps", "paper Gbps"},
+	}
+	spec := hw.Nehalem()
+	rows := []struct {
+		label  string
+		kp, kn int
+		paper  float64
+	}{
+		{"no batching (kp=1, kn=1)", 1, 1, 1.46},
+		{"poll-driven batching (kp=32, kn=1)", 32, 1, 4.97},
+		{"poll- and NIC-driven batching (kp=32, kn=16)", 32, 16, 9.77},
+	}
+	for _, c := range rows {
+		res := hw.MaxRate(spec, hw.Forward, 64, hw.Config{KP: c.kp, KN: c.kn, MultiQueue: true})
+		r.Add(c.label, res.Gbps, c.paper)
+	}
+	return r
+}
+
+// Table2 reproduces the component capacity bounds.
+func Table2() *Report {
+	r := &Report{
+		ID:    "table2",
+		Title: "Upper bounds on component capacity (Gbps)",
+		Head:  []string{"component", "nominal", "empirical", "paper nominal", "paper empirical"},
+		Notes: []string{
+			"model values are spec constants taken from the paper's Table 2; " +
+				"the 'benchmark' column of the paper is reproduced as the empirical capacity " +
+				"the bottleneck analysis uses",
+		},
+	}
+	s := hw.Nehalem()
+	r.Add("CPUs (cycles/s)", s.CyclesPerSec()/1e9, s.CyclesPerSec()/1e9, 22.4, "n/a")
+	r.Add("memory buses", s.MemNominalBps/1e9, s.MemEmpBps/1e9, 410.0, 262.0)
+	r.Add("inter-socket link", s.QPINominalBps/1e9, s.QPIEmpBps/1e9, 200.0, 144.34)
+	r.Add("I/O-socket links", s.IONominalBps/1e9, s.IOEmpBps/1e9, 400.0, 117.0)
+	r.Add("PCIe buses (v1.1)", s.PCIeNomBps/1e9, s.PCIeEmpBps/1e9, 64.0, 50.8)
+	r.Add("per-NIC payload", float64(s.NICs)*s.PerNICBps/1e9, float64(s.NICs)*s.PerNICBps/1e9, 24.6, 24.6)
+	return r
+}
+
+// Table3 reproduces instructions/packet and CPI per application.
+func Table3() *Report {
+	r := &Report{
+		ID:    "table3",
+		Title: "Instructions per packet and CPI (64 B)",
+		Head:  []string{"application", "model cycles/pkt", "model instr/pkt", "CPI (paper)", "paper instr/pkt"},
+	}
+	spec := hw.Nehalem()
+	cfg := hw.DefaultConfig()
+	paper := map[hw.App]float64{hw.Forward: 1033, hw.Route: 1512, hw.IPsec: 14221}
+	for _, app := range []hw.App{hw.Forward, hw.Route, hw.IPsec} {
+		load := hw.PacketLoad(app, 64, cfg, spec)
+		r.Add(app.String(), load.Cycles, load.Cycles/hw.CPI(app), hw.CPI(app), paper[app])
+	}
+	return r
+}
+
+// Fig3 reproduces the cluster-sizing figure: total servers vs external
+// ports for the three server configurations plus the switched-Clos
+// comparison, R = 10 Gbps.
+func Fig3() *Report {
+	r := &Report{
+		ID:    "fig3",
+		Title: "Servers required for an N-port, 10 Gbps/port router",
+		Head: []string{"N ports", "current (1 port, 5 slots)", "more NICs (1 port, 20 slots)",
+			"faster (2 ports, 20 slots)", "48-port switched (server-equiv)"},
+		Notes: []string{
+			"mesh→n-fly transitions: current at N>32, more-NICs at N>128 (both match the paper); " +
+				"faster at N>256 (the paper's text claims 2048, which its stated fanout cannot support; " +
+				"see EXPERIMENTS.md)",
+			"paper anchor reproduced: current servers need ≈2 intermediate servers per port at N=1024",
+		},
+	}
+	for n := 4; n <= 2048; n *= 2 {
+		row := []any{n}
+		for _, cfg := range []topo.ServerConfig{topo.Current(), topo.MoreNICs(), topo.Faster()} {
+			d, err := topo.Plan(cfg, n, 10)
+			if err != nil {
+				row = append(row, "-")
+				continue
+			}
+			cell := fmt.Sprintf("%d (%s)", d.Servers, d.Topology)
+			row = append(row, cell)
+		}
+		_, eq := topo.SwitchedCost(n)
+		row = append(row, eq)
+		r.Add(row...)
+	}
+	return r
+}
+
+// Fig6 reproduces the toy core-placement scenarios.
+func Fig6() *Report {
+	r := &Report{
+		ID:    "fig6",
+		Title: "Forwarding rates with and without multiple queues (64 B)",
+		Head:  []string{"scenario", "model Gbps/FP", "model total Gbps", "paper Gbps/FP"},
+	}
+	spec := hw.Nehalem()
+	paper := map[hw.Scenario]string{
+		hw.PipelineSharedCache: "1.2",
+		hw.PipelineCrossCache:  "0.6",
+		hw.ParallelFP:          "1.7",
+		hw.SplitterSingleQueue: "(>3x below d)",
+		hw.SplitterMultiQueue:  "~1.7/FP",
+		hw.OverlapSingleQueue:  "0.7",
+		hw.OverlapMultiQueue:   "~1.7",
+	}
+	for _, s := range hw.ToyScenarios() {
+		total, per := hw.ToyRate(spec, s)
+		r.Add(s.String(), per, total, paper[s])
+	}
+	return r
+}
+
+// Fig7 reproduces the cumulative-impact bars.
+func Fig7() *Report {
+	r := &Report{
+		ID:    "fig7",
+		Title: "Aggregate impact of server architecture, multiple queues, batching (64 B fwd)",
+		Head:  []string{"configuration", "model Mpps", "paper anchor"},
+	}
+	xeon := hw.MaxRate(hw.Xeon(), hw.Forward, 64, hw.Config{KP: 1, KN: 1})
+	nehalemPlain := hw.MaxRate(hw.Nehalem(), hw.Forward, 64, hw.Config{KP: 1, KN: 1})
+	nehalemSQBatch := hw.MaxRate(hw.Nehalem(), hw.Forward, 64, hw.Config{KP: 32, KN: 16})
+	tuned := hw.MaxRate(hw.Nehalem(), hw.Forward, 64, hw.DefaultConfig())
+	r.Add("Xeon, single queue, no batching", xeon.PPS/1e6, "11x below tuned")
+	r.Add("Nehalem, single queue, no batching", nehalemPlain.PPS/1e6, "6.7x below tuned")
+	r.Add("Nehalem, single queue, with batching", nehalemSQBatch.PPS/1e6, "(between)")
+	r.Add("Nehalem, multi-queue, with batching", tuned.PPS/1e6, "18.96 Mpps (9.7 Gbps)")
+	r.Notes = append(r.Notes,
+		fmt.Sprintf("model ratios: %.1fx over untuned Nehalem, %.1fx over Xeon",
+			tuned.PPS/nehalemPlain.PPS, tuned.PPS/xeon.PPS))
+	return r
+}
+
+// Fig8 reproduces the workload figure: minimal forwarding by packet size
+// (top) and all three applications at 64 B and Abilene (bottom).
+func Fig8() *Report {
+	r := &Report{
+		ID:    "fig8",
+		Title: "Forwarding rate by packet size and application",
+		Head:  []string{"workload", "app", "model Gbps", "model Mpps", "bottleneck", "paper Gbps"},
+	}
+	spec := hw.Nehalem()
+	cfg := hw.DefaultConfig()
+	paperTop := map[int]string{64: "9.7", 128: "(CPU-bound)", 256: "24.6", 512: "24.6", 1024: "24.6"}
+	for _, size := range []int{64, 128, 256, 512, 1024} {
+		res := hw.MaxRate(spec, hw.Forward, size, cfg)
+		r.Add(fmt.Sprintf("%dB", size), "fwd", res.Gbps, res.PPS/1e6, res.Bottleneck, paperTop[size])
+	}
+	abilene := hw.MaxRateMean(spec, hw.Forward, AbileneMean, cfg)
+	r.Add("Abilene", "fwd", abilene.Gbps, abilene.PPS/1e6, abilene.Bottleneck, "24.6")
+
+	paperBottom := map[hw.App][2]string{
+		hw.Forward: {"9.7", "24.6"},
+		hw.Route:   {"6.35", "24.6"},
+		hw.IPsec:   {"1.4", "4.45"},
+	}
+	for _, app := range []hw.App{hw.Route, hw.IPsec} {
+		small := hw.MaxRate(spec, app, 64, cfg)
+		r.Add("64B", app.String(), small.Gbps, small.PPS/1e6, small.Bottleneck, paperBottom[app][0])
+		ab := hw.MaxRateMean(spec, app, AbileneMean, cfg)
+		r.Add("Abilene", app.String(), ab.Gbps, ab.PPS/1e6, ab.Bottleneck, paperBottom[app][1])
+	}
+	return r
+}
+
+// Fig9 reproduces the CPU-load figure: cycles/packet vs input rate with
+// the nominal bound.
+func Fig9() *Report {
+	r := &Report{
+		ID:    "fig9",
+		Title: "CPU load (cycles/packet) vs input rate (64 B)",
+		Head:  []string{"rate Mpps", "fwd", "rtr", "ipsec", "cycles available/pkt"},
+		Notes: []string{"per-packet load is constant in rate (the flat lines of Fig 9); " +
+			"an application saturates where its line crosses the available-cycles curve"},
+	}
+	spec := hw.Nehalem()
+	cfg := hw.DefaultConfig()
+	fwd := hw.PacketLoad(hw.Forward, 64, cfg, spec).Cycles
+	rtr := hw.PacketLoad(hw.Route, 64, cfg, spec).Cycles
+	ips := hw.PacketLoad(hw.IPsec, 64, cfg, spec).Cycles
+	for _, mpps := range []float64{2, 4, 6, 8, 10, 12, 14, 16, 18, 20} {
+		avail := spec.CyclesPerSec() / (mpps * 1e6)
+		r.Add(mpps, fwd, rtr, ips, avail)
+	}
+	return r
+}
+
+// Fig10 reproduces the bus-load figure: per-packet bytes on each bus with
+// nominal and empirical bounds at the app's saturation rate.
+func Fig10() *Report {
+	r := &Report{
+		ID:    "fig10",
+		Title: "Bus loads (bytes/packet) and bounds at saturation (64 B)",
+		Head: []string{"app", "bus", "load B/pkt", "empirical bound B/pkt",
+			"nominal bound B/pkt", "utilization"},
+		Notes: []string{"bounds are capacity divided by the app's saturation packet rate; " +
+			"all loads sit below the empirical bounds, as in Fig 10 — the buses are not the bottleneck"},
+	}
+	spec := hw.Nehalem()
+	cfg := hw.DefaultConfig()
+	for _, app := range []hw.App{hw.Forward, hw.Route, hw.IPsec} {
+		load := hw.PacketLoad(app, 64, cfg, spec)
+		rate := hw.MaxRate(spec, app, 64, cfg).PPS
+		add := func(bus string, l, emp, nom float64) {
+			r.Add(app.String(), bus, l, emp/8/rate, nom/8/rate, trimFloat(l/(emp/8/rate)))
+		}
+		add("memory", load.MemBytes, spec.MemEmpBps, spec.MemNominalBps)
+		add("io", load.IOBytes, spec.IOEmpBps, spec.IONominalBps)
+		add("pcie", load.PCIeBytes, spec.PCIeEmpBps, spec.PCIeNomBps)
+		add("inter-socket", load.QPIBytes, spec.QPIEmpBps, spec.QPINominalBps)
+	}
+	return r
+}
+
+// NUMA reproduces the §4.2 data-placement experiment: 4 cores on one
+// socket reach 6.3 Gbps regardless of descriptor placement.
+func NUMA() *Report {
+	r := &Report{
+		ID:    "numa",
+		Title: "NUMA data placement (4 cores, 64 B fwd)",
+		Head:  []string{"placement", "model Gbps", "paper Gbps"},
+		Notes: []string{"the model charges no remote-access penalty because the paper measured none " +
+			"(23% remote accesses, identical throughput)"},
+	}
+	cfg := hw.DefaultConfig()
+	cfg.Cores = 4
+	local := hw.MaxRate(hw.Nehalem(), hw.Forward, 64, cfg)
+	r.Add("socket-0 cores, local descriptors", local.Gbps, 6.3)
+	r.Add("socket-1 cores, remote descriptors", local.Gbps, 6.3)
+	return r
+}
+
+// Projection reproduces the §5.3 next-generation estimates.
+func Projection() *Report {
+	r := &Report{
+		ID:    "proj",
+		Title: "Projected rates on the 4-socket next-generation server (64 B)",
+		Head:  []string{"app", "model Gbps", "bottleneck", "paper Gbps"},
+	}
+	spec := hw.NehalemNext()
+	cfg := hw.DefaultConfig()
+	paper := map[hw.App]float64{hw.Forward: 38.8, hw.Route: 19.9, hw.IPsec: 5.8}
+	for _, app := range []hw.App{hw.Forward, hw.Route, hw.IPsec} {
+		res := hw.MaxRate(spec, app, 64, cfg)
+		r.Add(app.String(), res.Gbps, res.Bottleneck, paper[app])
+	}
+	// The 70 Gbps Abilene estimate for today's server: the paper lifts
+	// the NIC-slot ceiling, ignores the PCIe bus, and grants the
+	// socket-I/O links 80% of nominal capacity (§5.3).
+	today := hw.Nehalem()
+	today.NICs = 8
+	today.PCIeEmpBps = today.PCIeNomBps * 100 // "ignoring the PCIe bus"
+	today.IOEmpBps = 0.8 * today.IONominalBps
+	ab := hw.MaxRateMean(today, hw.Forward, AbileneMean, cfg)
+	r.Add("fwd/Abilene, NIC ceiling lifted", ab.Gbps, ab.Bottleneck, 70.0)
+	r.Notes = append(r.Notes,
+		"the Abilene estimate uses the paper's §5.3 assumptions: more NIC slots, PCIe ignored, "+
+			"socket-I/O at 80% of nominal; the model lands CPU-bound near 79 Gbps vs the paper's ~70")
+	return r
+}

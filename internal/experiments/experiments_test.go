@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// parse reads a numeric cell back out of a report.
+func parse(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("cell %q is not numeric: %v", s, err)
+	}
+	return v
+}
+
+func findRow(t *testing.T, r *Report, label string) []string {
+	t.Helper()
+	for _, row := range r.Rows {
+		if strings.Contains(row[0], label) {
+			return row
+		}
+	}
+	t.Fatalf("%s: no row matching %q in %v", r.ID, label, r.Rows)
+	return nil
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep := e.Run(true)
+			if rep == nil || len(rep.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			if len(rep.Head) == 0 {
+				t.Fatalf("%s has no header", e.ID)
+			}
+			for _, row := range rep.Rows {
+				if len(row) != len(rep.Head) {
+					t.Fatalf("%s: ragged row %v vs header %v", e.ID, row, rep.Head)
+				}
+			}
+			if !strings.Contains(rep.String(), e.ID) {
+				t.Fatalf("%s: String() missing ID", e.ID)
+			}
+			if !strings.Contains(rep.Markdown(), "|") {
+				t.Fatalf("%s: Markdown() has no table", e.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("table1"); !ok {
+		t.Fatal("table1 not found")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("phantom experiment found")
+	}
+}
+
+// Model-vs-paper agreement: for every row of the key tables that carries
+// a numeric paper value, the model must be within 10%.
+func TestModelMatchesPaperColumns(t *testing.T) {
+	check := func(rep *Report, modelCol, paperCol int, tol float64) {
+		t.Helper()
+		for _, row := range rep.Rows {
+			paper, err := strconv.ParseFloat(row[paperCol], 64)
+			if err != nil {
+				continue // qualitative cell
+			}
+			model := parse(t, row[modelCol])
+			if diff := abs(model-paper) / paper; diff > tol {
+				t.Errorf("%s %q: model %v vs paper %v (%.0f%% off)",
+					rep.ID, row[0], model, paper, 100*diff)
+			}
+		}
+	}
+	check(Table1(), 1, 2, 0.05)
+	check(Table3(), 2, 4, 0.05)
+	check(Fig6(), 1, 3, 0.05)
+	check(NUMA(), 1, 2, 0.05)
+	check(Projection(), 1, 3, 0.15) // the 70 Gbps row is the paper's own rough estimate
+}
+
+func TestFig3Anchors(t *testing.T) {
+	rep := Fig3()
+	// N=32 row: current servers mesh with exactly 32.
+	row := findRow(t, rep, "32")
+	if !strings.Contains(row[1], "32 (mesh)") {
+		t.Errorf("N=32 current = %q, want 32 (mesh)", row[1])
+	}
+	// N=1024: current uses n-fly with ≈2 intermediates/port (3073 total).
+	for _, r := range rep.Rows {
+		if r[0] == "1024" {
+			if !strings.Contains(r[1], "n-fly") {
+				t.Errorf("N=1024 current = %q, want n-fly", r[1])
+			}
+			var n int
+			if _, err := strconv.Atoi(strings.Fields(r[1])[0]); err == nil {
+				n, _ = strconv.Atoi(strings.Fields(r[1])[0])
+			}
+			if n < 2900 || n > 3200 {
+				t.Errorf("N=1024 current servers = %d, want ≈3073", n)
+			}
+		}
+	}
+}
+
+func TestRB4RatesAnchors(t *testing.T) {
+	per64, tot64, b64 := RB4Analytic(64)
+	if tot64 < 11.5 || tot64 > 12.5 {
+		t.Errorf("RB4 64B total = %.2f Gbps, want ≈12 (paper)", tot64)
+	}
+	if b64 != "cpu" {
+		t.Errorf("RB4 64B bottleneck = %s, want cpu", b64)
+	}
+	if per64 < 2.8 || per64 > 3.2 {
+		t.Errorf("per-node 64B = %.2f, want ≈3", per64)
+	}
+
+	_, totAb, bAb := RB4Analytic(AbileneMean)
+	if totAb < 33 || totAb > 49 {
+		t.Errorf("RB4 Abilene total = %.2f Gbps, want inside the paper's band [33,49]", totAb)
+	}
+	if bAb != "nic" {
+		t.Errorf("RB4 Abilene bottleneck = %s, want nic", bAb)
+	}
+}
+
+func TestReorderingExperimentShape(t *testing.T) {
+	rep := RB4Reordering(true)
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows = %d", len(rep.Rows))
+	}
+	with := parse(t, rep.Rows[0][1])
+	without := parse(t, rep.Rows[1][1])
+	if without == 0 {
+		t.Fatal("plain VLB produced zero reordering")
+	}
+	if with >= without/3 {
+		t.Fatalf("flowlets %.4f%% not ≪ plain %.4f%%", with, without)
+	}
+}
+
+func TestLatencyExperimentShape(t *testing.T) {
+	rep := RB4Latency(true)
+	mean := parse(t, findRow(t, rep, "mean")[1])
+	if mean < 20 || mean > 90 {
+		t.Fatalf("mean latency = %.1f µs, outside plausible band", mean)
+	}
+}
+
+func TestAblationBatchingMonotone(t *testing.T) {
+	rep := AblationBatching()
+	// Rates must not decrease along each row (kn grows).
+	for _, row := range rep.Rows {
+		prev := 0.0
+		for _, cell := range row[1:] {
+			v := parse(t, cell)
+			if v+1e-9 < prev {
+				t.Fatalf("row %v not monotone", row)
+			}
+			prev = v
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,143 @@
+// Package experiments regenerates every table and figure of the
+// RouteBricks evaluation (§5–§6). Each experiment returns a Report whose
+// rows place the model/simulation output next to the paper's published
+// number, so EXPERIMENTS.md and the rbbench tool are generated from one
+// source of truth.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Report is one reproduced table or figure.
+type Report struct {
+	ID    string // "table1", "fig3", ...
+	Title string
+	Notes []string
+	Head  []string
+	Rows  [][]string
+}
+
+// Add appends a row; values are formatted with %v.
+func (r *Report) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.2f", v)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	if s == "" || s == "-" {
+		s = "0"
+	}
+	return s
+}
+
+// String renders an aligned text table.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Head))
+	for i, h := range r.Head {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Head)
+	sep := make([]string, len(r.Head))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the report as a GitHub table.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	b.WriteString("| " + strings.Join(r.Head, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat(" --- |", len(r.Head)) + "\n")
+	for _, row := range r.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	b.WriteByte('\n')
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "*Note: %s*\n\n", n)
+	}
+	return b.String()
+}
+
+// Experiment pairs an ID with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(quick bool) *Report
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig3", "Servers required vs external ports", func(bool) *Report { return Fig3() }},
+		{"fig6", "Forwarding rates with and without multiple queues", func(bool) *Report { return Fig6() }},
+		{"table1", "Polling configurations", func(bool) *Report { return Table1() }},
+		{"fig7", "Cumulative impact of architecture, queues, batching", func(bool) *Report { return Fig7() }},
+		{"fig8", "Forwarding rate by workload and application", func(bool) *Report { return Fig8() }},
+		{"fig9", "CPU load vs input rate", func(bool) *Report { return Fig9() }},
+		{"fig10", "Bus loads vs input rate", func(bool) *Report { return Fig10() }},
+		{"table2", "Component capacity bounds", func(bool) *Report { return Table2() }},
+		{"table3", "Instructions per packet and CPI", func(bool) *Report { return Table3() }},
+		{"numa", "NUMA data placement (§4.2)", func(bool) *Report { return NUMA() }},
+		{"proj", "Next-generation server projections (§5.3)", func(bool) *Report { return Projection() }},
+		{"rb4", "RB4 routing performance (§6.2)", func(bool) *Report { return RB4Rates() }},
+		{"rb4-measured", "RB4 rate, model vs simulation", RB4MeasuredRate},
+		{"reorder", "RB4 reordering (§6.2)", RB4Reordering},
+		{"latency", "RB4 latency (§6.2)", RB4Latency},
+		{"ablation-batch", "Ablation: batching parameter sweep", func(bool) *Report { return AblationBatching() }},
+		{"ablation-delta", "Ablation: flowlet timeout sweep", AblationFlowletDelta},
+		{"ablation-txtimeout", "Ablation: NIC batch timeout vs latency (§4.2 future work)", AblationTxTimeout},
+		{"ablation-lpm", "Ablation: LPM engine comparison", func(bool) *Report { return AblationLPM() }},
+		{"ablation-topo", "Ablation: n-fly vs torus (§3.3 design choice)", func(bool) *Report { return AblationTopo() }},
+		{"profile", "Per-element CPU cost breakdown (VTune-style)", func(bool) *Report { return Profile() }},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,37 @@
+package hw
+
+// Exported per-element cost helpers. The element library charges these to
+// the click.Context so that a timed simulation, with full batches, adds up
+// to exactly the calibrated totals in load.go:
+//
+//	fwd path:   ForwardCycles(P) + PollCycles/kp + NICBatchCycles/kn
+//	rtr path:   + RouteExtraCycles
+//	ipsec path: + IPsecExtraCycles(P)
+
+// PollCycles is the per-poll book-keeping cost (charged once per poll
+// operation; kp-packet batches amortize it).
+const PollCycles = CPoll
+
+// NICBatchCycles is the per-descriptor-transaction cost (charged once per
+// kn-packet DMA batch).
+const NICBatchCycles = CNIC
+
+// EmptyPollCycles is the cost of a poll that finds no packets. The paper
+// factors these out of per-packet CPU load (§5.3); the simulation charges
+// them to idle time, where they only affect latency granularity.
+const EmptyPollCycles = 120.0
+
+// ForwardCycles is the application work of minimal forwarding for a
+// packet of size bytes (book-keeping excluded).
+func ForwardCycles(size int) float64 { return appCycles(Forward, float64(size)) }
+
+// RouteExtraCycles is the additional work IP routing does on top of
+// minimal forwarding: checksum verify/update, TTL, DIR-24-8 lookup.
+func RouteExtraCycles() float64 { return rtrExtra }
+
+// IPsecExtraCycles is the additional work of AES-128 ESP encryption on
+// top of minimal forwarding for a packet of size bytes.
+func IPsecExtraCycles(size int) float64 {
+	p := float64(size)
+	return appCycles(IPsec, p) - appCycles(Forward, p)
+}

@@ -1,0 +1,318 @@
+package hw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// within asserts got is within tol (relative) of want.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero want", name)
+	}
+	if r := math.Abs(got-want) / math.Abs(want); r > tol {
+		t.Errorf("%s = %.4g, want %.4g (±%.0f%%), off by %.1f%%", name, got, want, tol*100, r*100)
+	}
+}
+
+// Table 1 anchors: polling configurations on the tuned Nehalem (64 B
+// minimal forwarding, all 8 cores, multi-queue).
+func TestTable1Anchors(t *testing.T) {
+	spec := Nehalem()
+	cases := []struct {
+		kp, kn int
+		gbps   float64
+	}{
+		{1, 1, 1.46},
+		{32, 1, 4.97},
+		{32, 16, 9.77},
+	}
+	for _, c := range cases {
+		cfg := Config{KP: c.kp, KN: c.kn, MultiQueue: true}
+		r := MaxRate(spec, Forward, 64, cfg)
+		within(t, "table1", r.Gbps, c.gbps, 0.02)
+		if r.Bottleneck != "cpu" {
+			t.Errorf("kp=%d kn=%d bottleneck = %s, want cpu", c.kp, c.kn, r.Bottleneck)
+		}
+	}
+}
+
+// Fig 8 anchors: per-application rates at 64 B and on the Abilene-like
+// mean (§5.2): fwd 9.7/24.6, rtr 6.35/24.6, ipsec 1.4/4.45 Gbps.
+func TestFig8Anchors(t *testing.T) {
+	spec := Nehalem()
+	cfg := DefaultConfig()
+	const abilene = 738.3
+
+	within(t, "fwd/64", MaxRate(spec, Forward, 64, cfg).Gbps, 9.7, 0.02)
+	within(t, "rtr/64", MaxRate(spec, Route, 64, cfg).Gbps, 6.35, 0.02)
+	within(t, "ipsec/64", MaxRate(spec, IPsec, 64, cfg).Gbps, 1.4, 0.05)
+
+	fa := MaxRateMean(spec, Forward, abilene, cfg)
+	within(t, "fwd/abilene", fa.Gbps, 24.6, 0.01)
+	if fa.Bottleneck != "nic" {
+		t.Errorf("fwd/abilene bottleneck = %s, want nic", fa.Bottleneck)
+	}
+	ra := MaxRateMean(spec, Route, abilene, cfg)
+	within(t, "rtr/abilene", ra.Gbps, 24.6, 0.01)
+	if ra.Bottleneck != "nic" {
+		t.Errorf("rtr/abilene bottleneck = %s, want nic", ra.Bottleneck)
+	}
+	ia := MaxRateMean(spec, IPsec, abilene, cfg)
+	within(t, "ipsec/abilene", ia.Gbps, 4.45, 0.02)
+	if ia.Bottleneck != "cpu" {
+		t.Errorf("ipsec/abilene bottleneck = %s, want cpu", ia.Bottleneck)
+	}
+}
+
+// Large packets saturate the NIC complement, not the server (§5.2).
+func TestLargePacketsNICLimited(t *testing.T) {
+	spec := Nehalem()
+	cfg := DefaultConfig()
+	for _, size := range []int{256, 512, 1024} {
+		r := MaxRate(spec, Forward, size, cfg)
+		within(t, "fwd/large", r.Gbps, 24.6, 0.01)
+		if r.Bottleneck != "nic" {
+			t.Errorf("size %d bottleneck = %s, want nic", size, r.Bottleneck)
+		}
+	}
+}
+
+// Fig 7 anchors: the cumulative impact of architecture, multi-queue and
+// batching. 6.7× over untuned Nehalem, 11× over shared-bus Xeon.
+func TestFig7Anchors(t *testing.T) {
+	tunedr := MaxRate(Nehalem(), Forward, 64, DefaultConfig())
+	within(t, "tuned", tunedr.PPS/1e6, 18.96, 0.02)
+
+	untuned := MaxRate(Nehalem(), Forward, 64, Config{KP: 1, KN: 1})
+	within(t, "nehalem-untuned", tunedr.PPS/untuned.PPS, 6.7, 0.05)
+
+	xeon := MaxRate(Xeon(), Forward, 64, Config{KP: 1, KN: 1})
+	within(t, "xeon", tunedr.PPS/xeon.PPS, 11, 0.05)
+	if xeon.Bottleneck != "fsb" {
+		t.Errorf("xeon bottleneck = %s, want fsb", xeon.Bottleneck)
+	}
+
+	// Batching cannot rescue the shared-bus architecture (§4.2 "multi-core
+	// alone is not enough" — the FSB binds regardless).
+	xeonBatched := MaxRate(Xeon(), Forward, 64, DefaultConfig())
+	within(t, "xeon-batched", xeonBatched.PPS, xeon.PPS, 0.001)
+
+	// Single-queue with batching sits strictly between untuned and tuned.
+	sq := MaxRate(Nehalem(), Forward, 64, Config{KP: 32, KN: 16})
+	if !(sq.PPS > untuned.PPS && sq.PPS < tunedr.PPS) {
+		t.Errorf("single-queue batched rate %.2f Mpps not between %.2f and %.2f",
+			sq.PPS/1e6, untuned.PPS/1e6, tunedr.PPS/1e6)
+	}
+}
+
+// §4.2 NUMA experiment: 4 cores reach 6.3 Gbps, and data placement
+// (remote descriptors) makes no difference in the model, as measured.
+func TestNUMAFourCoreAnchor(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Cores = 4
+	r := MaxRate(Nehalem(), Forward, 64, cfg)
+	within(t, "4-core fwd", r.Gbps, 6.3, 0.02)
+}
+
+// §5.3 projections on the next-generation server: 38.8 / 19.9 / 5.8 Gbps
+// for fwd / rtr / ipsec at 64 B; routing becomes memory-bound.
+func TestNextGenProjections(t *testing.T) {
+	spec := NehalemNext()
+	cfg := DefaultConfig()
+
+	f := MaxRate(spec, Forward, 64, cfg)
+	within(t, "next/fwd", f.Gbps, 38.8, 0.02)
+	if f.Bottleneck != "cpu" {
+		t.Errorf("next/fwd bottleneck = %s, want cpu", f.Bottleneck)
+	}
+
+	r := MaxRate(spec, Route, 64, cfg)
+	within(t, "next/rtr", r.Gbps, 19.9, 0.02)
+	if r.Bottleneck != "mem" {
+		t.Errorf("next/rtr bottleneck = %s, want mem (the paper's projected crossover)", r.Bottleneck)
+	}
+
+	i := MaxRate(spec, IPsec, 64, cfg)
+	within(t, "next/ipsec", i.Gbps, 5.8, 0.02)
+}
+
+// Fig 6 anchors: toy scenario rates.
+func TestFig6Anchors(t *testing.T) {
+	spec := Nehalem()
+	_, par := ToyRate(spec, ParallelFP)
+	within(t, "parallel", par, 1.7, 0.02)
+
+	_, pipe := ToyRate(spec, PipelineSharedCache)
+	within(t, "pipeline/shared", pipe, 1.2, 0.02)
+
+	_, cross := ToyRate(spec, PipelineCrossCache)
+	within(t, "pipeline/cross", cross, 0.6, 0.02)
+
+	_, ovl := ToyRate(spec, OverlapSingleQueue)
+	within(t, "overlap/1q", ovl, 0.7, 0.02)
+
+	_, ovlMQ := ToyRate(spec, OverlapMultiQueue)
+	within(t, "overlap/mq", ovlMQ, 1.7, 0.02)
+
+	splitTotal, _ := ToyRate(spec, SplitterSingleQueue)
+	mqTotal, _ := ToyRate(spec, SplitterMultiQueue)
+	if mqTotal < 3*splitTotal {
+		t.Errorf("multi-queue splitter %.2f not >3x single-queue %.2f (paper: 'more than three times')",
+			mqTotal, splitTotal)
+	}
+
+	// Sync-only drop ~29%, sync+miss drop ~64% (§4.2).
+	within(t, "sync drop", 1-pipe/par, 0.29, 0.05)
+	within(t, "miss drop", 1-cross/par, 0.64, 0.05)
+}
+
+// Table 3: the modeled cycles divided by the paper's CPI land near the
+// paper's instruction counts.
+func TestTable3Instructions(t *testing.T) {
+	spec := Nehalem()
+	cfg := DefaultConfig()
+	within(t, "fwd instr", Instructions(Forward, 64, cfg, spec), 1033, 0.05)
+	within(t, "rtr instr", Instructions(Route, 64, cfg, spec), 1512, 0.05)
+	within(t, "ipsec instr", Instructions(IPsec, 64, cfg, spec), 14221, 0.02)
+}
+
+// Fig 9/10: per-packet loads are constant in input rate (the paper's
+// extrapolation lever) and sit below the empirical component bounds at
+// the saturation rate for every app.
+func TestLoadsFlatAndBelowBounds(t *testing.T) {
+	spec := Nehalem()
+	cfg := DefaultConfig()
+	for _, app := range []App{Forward, Route, IPsec} {
+		load := PacketLoad(app, 64, cfg, spec)
+		r := MaxRate(spec, app, 64, cfg)
+		u := Utilization(spec, load, 8, 64, r.PPS)
+		for comp, util := range u {
+			if comp == r.Bottleneck {
+				if math.Abs(util-1) > 1e-9 {
+					t.Errorf("%v: bottleneck %s utilization = %.3f, want 1", app, comp, util)
+				}
+				continue
+			}
+			if util > 1+1e-9 {
+				t.Errorf("%v: non-bottleneck %s over capacity (%.2f)", app, comp, util)
+			}
+		}
+	}
+}
+
+// Memory/IO per-packet load ratios between 1024 B and 64 B match the
+// paper's measured 6× / 11× / 1.6× (§5.3 point 2).
+func TestSizeScalingRatios(t *testing.T) {
+	spec := Nehalem()
+	cfg := DefaultConfig()
+	small := PacketLoad(Forward, 64, cfg, spec)
+	big := PacketLoad(Forward, 1024, cfg, spec)
+	within(t, "mem ratio", big.MemBytes/small.MemBytes, 6, 0.01)
+	within(t, "io ratio", big.IOBytes/small.IOBytes, 11, 0.01)
+	within(t, "cpu ratio", big.Cycles/small.Cycles, 1.6, 0.01)
+}
+
+func TestSpecDerived(t *testing.T) {
+	n := Nehalem()
+	if n.Cores() != 8 {
+		t.Errorf("Cores = %d", n.Cores())
+	}
+	if n.CyclesPerSec() != 8*2.8e9 {
+		t.Errorf("CyclesPerSec = %g", n.CyclesPerSec())
+	}
+	if n.MaxInputBps() != 24.6e9 {
+		t.Errorf("MaxInputBps = %g", n.MaxInputBps())
+	}
+	nx := NehalemNext()
+	if nx.Cores() != 32 {
+		t.Errorf("next Cores = %d", nx.Cores())
+	}
+}
+
+func TestLoadAlgebra(t *testing.T) {
+	a := Load{Cycles: 1, MemBytes: 2, IOBytes: 3, PCIeBytes: 4, QPIBytes: 5}
+	b := a.Scale(2)
+	if b.Cycles != 2 || b.QPIBytes != 10 {
+		t.Errorf("Scale = %+v", b)
+	}
+	c := a.Add(b)
+	if c.MemBytes != 6 || c.PCIeBytes != 12 {
+		t.Errorf("Add = %+v", c)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var cfg Config // zero config: kp=kn=1, single queue, all cores
+	if cfg.kp() != 1 || cfg.kn() != 1 {
+		t.Errorf("zero config kp/kn = %g/%g", cfg.kp(), cfg.kn())
+	}
+	if got := cfg.cores(Nehalem()); got != 8 {
+		t.Errorf("zero config cores = %d", got)
+	}
+	cfg.Cores = 99
+	if got := cfg.cores(Nehalem()); got != 8 {
+		t.Errorf("oversized cores = %d", got)
+	}
+}
+
+// Property: MaxRate is monotone — bigger packets never raise the packet
+// rate, and more batching never lowers it.
+func TestPropertyMonotonicity(t *testing.T) {
+	spec := Nehalem()
+	f := func(size8 uint8, kp8, kn8 uint8) bool {
+		size := 64 + int(size8)%1200
+		kp := 1 + int(kp8)%32
+		kn := 1 + int(kn8)%16
+		base := MaxRate(spec, Forward, size, Config{KP: kp, KN: kn, MultiQueue: true})
+		bigger := MaxRate(spec, Forward, size+64, Config{KP: kp, KN: kn, MultiQueue: true})
+		moreBatch := MaxRate(spec, Forward, size, Config{KP: kp + 1, KN: kn + 1, MultiQueue: true})
+		return bigger.PPS <= base.PPS+1e-9 && moreBatch.PPS >= base.PPS-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the reported bottleneck is the argmin of the per-component
+// saturation rates.
+func TestPropertyBottleneckIsArgmin(t *testing.T) {
+	spec := Nehalem()
+	f := func(appN uint8, size8 uint8) bool {
+		app := App(int(appN) % 3)
+		size := 64 + int(size8)%1200
+		r := MaxRate(spec, app, size, DefaultConfig())
+		min := math.Inf(1)
+		for _, v := range r.PerComponent {
+			if v < min {
+				min = v
+			}
+		}
+		return math.Abs(r.PerComponent[r.Bottleneck]-min) < 1e-6*min && math.Abs(r.PPS-min) < 1e-6*min
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// MaxRateMean at an integer size equals MaxRate at that size.
+func TestMeanSizeConsistency(t *testing.T) {
+	spec := Nehalem()
+	cfg := DefaultConfig()
+	a := MaxRate(spec, Route, 512, cfg)
+	b := MaxRateMean(spec, Route, 512.0, cfg)
+	if math.Abs(a.PPS-b.PPS) > 1 {
+		t.Errorf("MaxRate=%.2f MaxRateMean=%.2f", a.PPS, b.PPS)
+	}
+}
+
+func BenchmarkMaxRate(b *testing.B) {
+	spec := Nehalem()
+	cfg := DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MaxRate(spec, Route, 64, cfg)
+	}
+}

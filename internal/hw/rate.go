@@ -1,0 +1,120 @@
+package hw
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Result reports a loss-free rate analysis: the sustainable packet rate,
+// the equivalent bit rate at the workload's mean packet size, and which
+// component binds first — the question §5.3 of the paper answers with
+// Figs 9 and 10.
+type Result struct {
+	PPS        float64
+	Gbps       float64
+	Bottleneck string
+	Load       Load
+	// PerComponent maps component name to the rate (pps) at which that
+	// component alone would saturate.
+	PerComponent map[string]float64
+}
+
+// componentRates lists each component's saturation pps for the load.
+func componentRates(spec Spec, load Load, activeCores int, meanSize float64) map[string]float64 {
+	rates := make(map[string]float64, 8)
+	if load.Cycles > 0 {
+		rates["cpu"] = float64(activeCores) * spec.ClockHz / load.Cycles
+	}
+	if spec.SharedBus {
+		// Fig 5 architecture: memory and I/O traffic share the FSB.
+		if b := load.MemBytes + load.IOBytes; b > 0 {
+			rates["fsb"] = spec.FSBEffBps / 8 / b
+		}
+	} else {
+		if load.MemBytes > 0 {
+			rates["mem"] = spec.MemEmpBps / 8 / load.MemBytes
+		}
+		if load.IOBytes > 0 {
+			rates["io"] = spec.IOEmpBps / 8 / load.IOBytes
+		}
+		if load.QPIBytes > 0 && spec.Sockets > 1 {
+			rates["qpi"] = spec.QPIEmpBps / 8 / load.QPIBytes
+		}
+	}
+	if load.PCIeBytes > 0 {
+		rates["pcie"] = spec.PCIeEmpBps / 8 / load.PCIeBytes
+	}
+	if meanSize > 0 {
+		rates["nic"] = spec.MaxInputBps() / (8 * meanSize)
+	}
+	return rates
+}
+
+// MaxRateForLoad finds the loss-free rate for an arbitrary per-packet
+// load at a mean packet size (bytes). activeCores ≤ spec.Cores().
+func MaxRateForLoad(spec Spec, load Load, activeCores int, meanSize float64) Result {
+	if activeCores <= 0 || activeCores > spec.Cores() {
+		activeCores = spec.Cores()
+	}
+	rates := componentRates(spec, load, activeCores, meanSize)
+	// Deterministic tie-breaking: sort component names.
+	names := make([]string, 0, len(rates))
+	for n := range rates {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	best := Result{PPS: -1, Load: load, PerComponent: rates}
+	for _, n := range names {
+		if best.PPS < 0 || rates[n] < best.PPS {
+			best.PPS = rates[n]
+			best.Bottleneck = n
+		}
+	}
+	best.Gbps = best.PPS * meanSize * 8 / 1e9
+	return best
+}
+
+// MaxRate finds the loss-free forwarding rate for an application at a
+// fixed packet size under cfg — the black-box measurement of §5.2.
+func MaxRate(spec Spec, a App, size int, cfg Config) Result {
+	load := PacketLoad(a, size, cfg, spec)
+	return MaxRateForLoad(spec, load, cfg.cores(spec), float64(size))
+}
+
+// MaxRateMean is MaxRate for a workload described by its mean packet
+// size (all per-packet loads are linear in size, so the mean is exact).
+func MaxRateMean(spec Spec, a App, meanSize float64, cfg Config) Result {
+	load := PacketLoadMean(a, meanSize, cfg, spec)
+	return MaxRateForLoad(spec, load, cfg.cores(spec), meanSize)
+}
+
+// PacketLoadMean is PacketLoad at a fractional (mean) packet size.
+func PacketLoadMean(a App, meanSize float64, cfg Config, spec Spec) Load {
+	// PacketLoad is linear in size; evaluate at the two nearest integers
+	// and interpolate to keep a single code path.
+	lo := int(meanSize)
+	f := meanSize - float64(lo)
+	l := PacketLoad(a, lo, cfg, spec)
+	if f == 0 {
+		return l
+	}
+	h := PacketLoad(a, lo+1, cfg, spec)
+	return l.Scale(1 - f).Add(h.Scale(f))
+}
+
+// Utilization reports per-component utilization (0..1+) at an offered
+// packet rate; values above 1 mean the component is over capacity. This
+// drives the Fig 9/10 style load-vs-bound comparisons.
+func Utilization(spec Spec, load Load, activeCores int, meanSize, pps float64) map[string]float64 {
+	rates := componentRates(spec, load, activeCores, meanSize)
+	u := make(map[string]float64, len(rates))
+	for n, r := range rates {
+		u[n] = pps / r
+	}
+	return u
+}
+
+// String renders a result compactly.
+func (r Result) String() string {
+	return fmt.Sprintf("%.2f Mpps / %.2f Gbps (bottleneck: %s)", r.PPS/1e6, r.Gbps, r.Bottleneck)
+}

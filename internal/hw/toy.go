@@ -1,0 +1,113 @@
+package hw
+
+// Fig 6 toy scenarios: how packet handling should be spread over cores.
+// The paper constructs simple forwarding paths (FPs) between interface
+// pairs and measures 64 B forwarding rate per FP under six placements.
+// The model reproduces them from four constants: the one-core handling
+// cost (ToyCycles, from the 1.7 Gbps parallel anchor) and the penalty
+// constants in load.go.
+
+// ToyCycles is the per-packet cost of one core doing the whole
+// receive-process-transmit path in the Fig 6 toy setup (64 B packets,
+// default batching): 2.8e9 cycles / (1.7 Gbps / 512 bits) ≈ 843.
+const ToyCycles = 843.0
+
+// Scenario identifies one of the Fig 6 placements.
+type Scenario int
+
+const (
+	// PipelineSharedCache: core A polls, hands off to core B on the same
+	// L3 for processing+transmit (Fig 6a, upper).
+	PipelineSharedCache Scenario = iota
+	// PipelineCrossCache: as above but the cores sit on different
+	// sockets, so the handoff misses L3 (Fig 6a, lower).
+	PipelineCrossCache
+	// ParallelFP: one core per FP does everything (Fig 6b).
+	ParallelFP
+	// SplitterSingleQueue: one port, one receive queue; a polling core
+	// splits traffic to worker cores (Fig 6c; here 1 splitter + 2 workers).
+	SplitterSingleQueue
+	// SplitterMultiQueue: the same cores, but the port exposes one queue
+	// per core so each worker polls its own queue (Fig 6d; 3 workers).
+	SplitterMultiQueue
+	// OverlapSingleQueue: two FPs share an output port with a single
+	// transmit queue — every enqueue takes the lock (Fig 6e).
+	OverlapSingleQueue
+	// OverlapMultiQueue: the shared output port exposes per-core transmit
+	// queues (Fig 6f).
+	OverlapMultiQueue
+)
+
+// String names the scenario as in Fig 6.
+func (s Scenario) String() string {
+	switch s {
+	case PipelineSharedCache:
+		return "pipeline/shared-L3"
+	case PipelineCrossCache:
+		return "pipeline/cross-socket"
+	case ParallelFP:
+		return "parallel"
+	case SplitterSingleQueue:
+		return "splitter/1-queue"
+	case SplitterMultiQueue:
+		return "splitter/multi-queue"
+	case OverlapSingleQueue:
+		return "overlap/1-queue"
+	case OverlapMultiQueue:
+		return "overlap/multi-queue"
+	}
+	return "unknown"
+}
+
+// ToyScenarios lists the scenarios in presentation order.
+func ToyScenarios() []Scenario {
+	return []Scenario{
+		PipelineSharedCache, PipelineCrossCache, ParallelFP,
+		SplitterSingleQueue, SplitterMultiQueue,
+		OverlapSingleQueue, OverlapMultiQueue,
+	}
+}
+
+// ToyRate returns the aggregate 64 B forwarding rate (Gbps) of the
+// scenario on spec, and the per-FP rate. Packet size is fixed at 64 B as
+// in the paper.
+func ToyRate(spec Spec, s Scenario) (totalGbps, perFPGbps float64) {
+	const bitsPerPkt = 64 * 8
+	coreHz := spec.ClockHz
+	ppsFor := func(cyclesPerPkt float64) float64 { return coreHz / cyclesPerPkt }
+	gbps := func(pps float64) float64 { return pps * bitsPerPkt / 1e9 }
+
+	switch s {
+	case PipelineSharedCache:
+		// Two cores split the work; each pays half the handoff sync.
+		stage := ToyCycles/2 + SyncCycles
+		r := gbps(ppsFor(stage))
+		return r, r
+	case PipelineCrossCache:
+		stage := ToyCycles/2 + SyncCycles + RemoteMissCycles
+		r := gbps(ppsFor(stage))
+		return r, r
+	case ParallelFP:
+		r := gbps(ppsFor(ToyCycles))
+		return r, r
+	case SplitterSingleQueue:
+		// The splitter core is the bottleneck: it does the receive half
+		// of the path plus a synchronized handoff per packet; worker
+		// capacity (2 × the processing half) exceeds what it can feed.
+		splitter := ToyCycles/2 + SyncCycles
+		r := gbps(ppsFor(splitter))
+		return r, r
+	case SplitterMultiQueue:
+		// Three workers, each with its own queue, each a full parallel FP.
+		r := gbps(ppsFor(ToyCycles))
+		return 3 * r, r
+	case OverlapSingleQueue:
+		// Two FPs; each packet pays the shared transmit-queue lock.
+		per := gbps(ppsFor(ToyCycles + LockCycles))
+		return 2 * per, per
+	case OverlapMultiQueue:
+		per := gbps(ppsFor(ToyCycles))
+		return 2 * per, per
+	}
+	panic("hw: unknown scenario")
+}

@@ -1,0 +1,128 @@
+package ipsec
+
+import "encoding/binary"
+
+// T-table AES implementation — the standard software optimization of the
+// era (and the shape of the cost the paper's 14K-instruction IPsec
+// workload reflects): each round collapses SubBytes+ShiftRows+MixColumns
+// into four 256-entry word-table lookups per column. Tables are derived
+// programmatically from the byte-level primitives in aes.go, and the
+// test suite cross-checks this path against the byte-level reference and
+// the standard library on random inputs.
+
+var (
+	te [4][256]uint32 // encryption tables
+	td [4][256]uint32 // decryption tables (equivalent inverse cipher)
+)
+
+func rotr8(v uint32) uint32 { return v>>8 | v<<24 }
+
+func init() {
+	for i := 0; i < 256; i++ {
+		s := sbox[i]
+		e := uint32(gmul(s, 2))<<24 | uint32(s)<<16 | uint32(s)<<8 | uint32(gmul(s, 3))
+		is := invSbox[i]
+		d := uint32(gmul(is, 0x0e))<<24 | uint32(gmul(is, 0x09))<<16 |
+			uint32(gmul(is, 0x0d))<<8 | uint32(gmul(is, 0x0b))
+		for t := 0; t < 4; t++ {
+			te[t][i] = e
+			td[t][i] = d
+			e = rotr8(e)
+			d = rotr8(d)
+		}
+	}
+}
+
+// invMixWord applies InvMixColumns to one round-key word, producing the
+// equivalent-inverse-cipher key schedule.
+func invMixWord(w uint32) uint32 {
+	a0, a1, a2, a3 := byte(w>>24), byte(w>>16), byte(w>>8), byte(w)
+	return uint32(gmul(a0, 0x0e)^gmul(a1, 0x0b)^gmul(a2, 0x0d)^gmul(a3, 0x09))<<24 |
+		uint32(gmul(a0, 0x09)^gmul(a1, 0x0e)^gmul(a2, 0x0b)^gmul(a3, 0x0d))<<16 |
+		uint32(gmul(a0, 0x0d)^gmul(a1, 0x09)^gmul(a2, 0x0e)^gmul(a3, 0x0b))<<8 |
+		uint32(gmul(a0, 0x0b)^gmul(a1, 0x0d)^gmul(a2, 0x09)^gmul(a3, 0x0e))
+}
+
+// expandDec fills the decryption key schedule: round keys in reverse
+// order with InvMixColumns applied to the middle rounds.
+func (c *Cipher) expandDec() {
+	for i := 0; i < 4; i++ {
+		c.rkDec[i] = c.rk[40+i]
+		c.rkDec[40+i] = c.rk[i]
+	}
+	for round := 1; round < 10; round++ {
+		for i := 0; i < 4; i++ {
+			c.rkDec[4*round+i] = invMixWord(c.rk[4*(10-round)+i])
+		}
+	}
+}
+
+// encryptFast is the T-table encryption path.
+func (c *Cipher) encryptFast(dst, src []byte) {
+	s0 := binary.BigEndian.Uint32(src[0:4]) ^ c.rk[0]
+	s1 := binary.BigEndian.Uint32(src[4:8]) ^ c.rk[1]
+	s2 := binary.BigEndian.Uint32(src[8:12]) ^ c.rk[2]
+	s3 := binary.BigEndian.Uint32(src[12:16]) ^ c.rk[3]
+
+	var t0, t1, t2, t3 uint32
+	k := 4
+	for round := 1; round < 10; round++ {
+		t0 = te[0][s0>>24] ^ te[1][s1>>16&0xff] ^ te[2][s2>>8&0xff] ^ te[3][s3&0xff] ^ c.rk[k]
+		t1 = te[0][s1>>24] ^ te[1][s2>>16&0xff] ^ te[2][s3>>8&0xff] ^ te[3][s0&0xff] ^ c.rk[k+1]
+		t2 = te[0][s2>>24] ^ te[1][s3>>16&0xff] ^ te[2][s0>>8&0xff] ^ te[3][s1&0xff] ^ c.rk[k+2]
+		t3 = te[0][s3>>24] ^ te[1][s0>>16&0xff] ^ te[2][s1>>8&0xff] ^ te[3][s2&0xff] ^ c.rk[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	// Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+	s0 = sub4(t0, t1, t2, t3) ^ c.rk[40]
+	s1 = sub4(t1, t2, t3, t0) ^ c.rk[41]
+	s2 = sub4(t2, t3, t0, t1) ^ c.rk[42]
+	s3 = sub4(t3, t0, t1, t2) ^ c.rk[43]
+
+	binary.BigEndian.PutUint32(dst[0:4], s0)
+	binary.BigEndian.PutUint32(dst[4:8], s1)
+	binary.BigEndian.PutUint32(dst[8:12], s2)
+	binary.BigEndian.PutUint32(dst[12:16], s3)
+}
+
+// sub4 assembles a word from the s-box of one byte of each input word,
+// following the ShiftRows byte selection (a, b, c, d = columns j, j+1,
+// j+2, j+3).
+func sub4(a, b, c, d uint32) uint32 {
+	return uint32(sbox[a>>24])<<24 | uint32(sbox[b>>16&0xff])<<16 |
+		uint32(sbox[c>>8&0xff])<<8 | uint32(sbox[d&0xff])
+}
+
+// decryptFast is the T-table equivalent-inverse-cipher path.
+func (c *Cipher) decryptFast(dst, src []byte) {
+	s0 := binary.BigEndian.Uint32(src[0:4]) ^ c.rkDec[0]
+	s1 := binary.BigEndian.Uint32(src[4:8]) ^ c.rkDec[1]
+	s2 := binary.BigEndian.Uint32(src[8:12]) ^ c.rkDec[2]
+	s3 := binary.BigEndian.Uint32(src[12:16]) ^ c.rkDec[3]
+
+	var t0, t1, t2, t3 uint32
+	k := 4
+	for round := 1; round < 10; round++ {
+		t0 = td[0][s0>>24] ^ td[1][s3>>16&0xff] ^ td[2][s2>>8&0xff] ^ td[3][s1&0xff] ^ c.rkDec[k]
+		t1 = td[0][s1>>24] ^ td[1][s0>>16&0xff] ^ td[2][s3>>8&0xff] ^ td[3][s2&0xff] ^ c.rkDec[k+1]
+		t2 = td[0][s2>>24] ^ td[1][s1>>16&0xff] ^ td[2][s0>>8&0xff] ^ td[3][s3&0xff] ^ c.rkDec[k+2]
+		t3 = td[0][s3>>24] ^ td[1][s2>>16&0xff] ^ td[2][s1>>8&0xff] ^ td[3][s0&0xff] ^ c.rkDec[k+3]
+		s0, s1, s2, s3 = t0, t1, t2, t3
+		k += 4
+	}
+	s0 = isub4(t0, t3, t2, t1) ^ c.rkDec[40]
+	s1 = isub4(t1, t0, t3, t2) ^ c.rkDec[41]
+	s2 = isub4(t2, t1, t0, t3) ^ c.rkDec[42]
+	s3 = isub4(t3, t2, t1, t0) ^ c.rkDec[43]
+
+	binary.BigEndian.PutUint32(dst[0:4], s0)
+	binary.BigEndian.PutUint32(dst[4:8], s1)
+	binary.BigEndian.PutUint32(dst[8:12], s2)
+	binary.BigEndian.PutUint32(dst[12:16], s3)
+}
+
+func isub4(a, b, c, d uint32) uint32 {
+	return uint32(invSbox[a>>24])<<24 | uint32(invSbox[b>>16&0xff])<<16 |
+		uint32(invSbox[c>>8&0xff])<<8 | uint32(invSbox[d&0xff])
+}

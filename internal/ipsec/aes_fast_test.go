@@ -1,0 +1,105 @@
+package ipsec
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Differential test: the T-table fast path must agree with the
+// byte-level reference on random keys and blocks, both directions.
+func TestFastMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		key := make([]byte, 16)
+		blk := make([]byte, 16)
+		rng.Read(key)
+		rng.Read(blk)
+		c, err := NewCipher(key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastE := make([]byte, 16)
+		refE := make([]byte, 16)
+		c.encryptFast(fastE, blk)
+		c.encryptGeneric(refE, blk)
+		if !bytes.Equal(fastE, refE) {
+			t.Fatalf("iteration %d: encrypt fast %x != ref %x", i, fastE, refE)
+		}
+		fastD := make([]byte, 16)
+		refD := make([]byte, 16)
+		c.decryptFast(fastD, fastE)
+		c.decryptGeneric(refD, refE)
+		if !bytes.Equal(fastD, refD) {
+			t.Fatalf("iteration %d: decrypt fast %x != ref %x", i, fastD, refD)
+		}
+		if !bytes.Equal(fastD, blk) {
+			t.Fatalf("iteration %d: roundtrip broken", i)
+		}
+	}
+}
+
+// The fast path must also alias-tolerate (dst == src), as the CBC layer
+// relies on in-place operation.
+func TestFastInPlace(t *testing.T) {
+	c, _ := NewCipher([]byte("0123456789abcdef"))
+	buf := []byte("quick brown fox!")
+	want := make([]byte, 16)
+	c.encryptGeneric(want, buf)
+	c.encryptFast(buf, buf)
+	if !bytes.Equal(buf, want) {
+		t.Fatal("in-place encryption diverges")
+	}
+	c.decryptFast(buf, buf)
+	if string(buf) != "quick brown fox!" {
+		t.Fatalf("in-place roundtrip: %q", buf)
+	}
+}
+
+// Property: fast decrypt(fast encrypt(x)) == x for arbitrary inputs.
+func TestPropertyFastRoundTrip(t *testing.T) {
+	f := func(key, blk [16]byte) bool {
+		c, err := NewCipher(key[:])
+		if err != nil {
+			return false
+		}
+		out := make([]byte, 16)
+		c.encryptFast(out, blk[:])
+		c.decryptFast(out, out)
+		return bytes.Equal(out, blk[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Table sanity: Te/Td rows are byte rotations of row 0.
+func TestTableRotationStructure(t *testing.T) {
+	for i := 0; i < 256; i++ {
+		if te[1][i] != rotr8(te[0][i]) || te[2][i] != rotr8(te[1][i]) || te[3][i] != rotr8(te[2][i]) {
+			t.Fatalf("te rotation broken at %d", i)
+		}
+		if td[1][i] != rotr8(td[0][i]) {
+			t.Fatalf("td rotation broken at %d", i)
+		}
+	}
+}
+
+func BenchmarkAESBlockGeneric(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 16))
+	buf := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.encryptGeneric(buf, buf)
+	}
+}
+
+func BenchmarkAESBlockFast(b *testing.B) {
+	c, _ := NewCipher(make([]byte, 16))
+	buf := make([]byte, 16)
+	b.SetBytes(16)
+	for i := 0; i < b.N; i++ {
+		c.encryptFast(buf, buf)
+	}
+}

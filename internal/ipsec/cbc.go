@@ -1,0 +1,49 @@
+package ipsec
+
+import "fmt"
+
+// EncryptCBC encrypts data in place using CBC chaining with the given IV.
+// len(data) must be a multiple of BlockSize; ESP padding guarantees that.
+func (c *Cipher) EncryptCBC(iv, data []byte) error {
+	if len(iv) != BlockSize {
+		return fmt.Errorf("ipsec: IV must be %d bytes, got %d", BlockSize, len(iv))
+	}
+	if len(data)%BlockSize != 0 {
+		return fmt.Errorf("ipsec: CBC data length %d not a multiple of %d", len(data), BlockSize)
+	}
+	prev := iv
+	for i := 0; i < len(data); i += BlockSize {
+		blk := data[i : i+BlockSize]
+		for j := 0; j < BlockSize; j++ {
+			blk[j] ^= prev[j]
+		}
+		c.Encrypt(blk, blk)
+		prev = blk
+	}
+	return nil
+}
+
+// DecryptCBC reverses EncryptCBC in place.
+func (c *Cipher) DecryptCBC(iv, data []byte) error {
+	if len(iv) != BlockSize {
+		return fmt.Errorf("ipsec: IV must be %d bytes, got %d", BlockSize, len(iv))
+	}
+	if len(data)%BlockSize != 0 {
+		return fmt.Errorf("ipsec: CBC data length %d not a multiple of %d", len(data), BlockSize)
+	}
+	// Walk backwards so each block's predecessor ciphertext is intact.
+	for i := len(data) - BlockSize; i >= 0; i -= BlockSize {
+		blk := data[i : i+BlockSize]
+		c.Decrypt(blk, blk)
+		var prev []byte
+		if i == 0 {
+			prev = iv
+		} else {
+			prev = data[i-BlockSize : i]
+		}
+		for j := 0; j < BlockSize; j++ {
+			blk[j] ^= prev[j]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,150 @@
+package lpm
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+)
+
+// Dir248 implements DIR-24-8-BASIC (Gupta/Lin/McKeown 1998): a 2^24-entry
+// first-level table indexed by the top 24 address bits, spilling prefixes
+// longer than /24 into 256-entry second-level blocks. Lookups take one
+// array read for ≤/24 routes and two for longer ones — the property that
+// made the scheme attractive at memory-access speeds, and the reason the
+// RouteBricks IP-routing workload stresses cache locality with random
+// destinations (§5.1).
+//
+// tbl24 entry encoding (32 bits):
+//
+//	bit 31       — 0: bits 0..30 are a next-hop value (offset by 1, 0 = empty)
+//	               1: bits 0..30 index a tblLong block
+//
+// Construction: prefixes are inserted in ascending length order so that
+// more-specific routes overwrite less-specific ranges, the standard
+// offline build. Insert after Freeze rebuilds lazily.
+type Dir248 struct {
+	tbl24   []uint32
+	tblLong [][]uint32 // each block has 256 entries, same value encoding as leaves
+	routes  map[prefixKey]int
+	dirty   bool
+}
+
+type prefixKey struct {
+	addr uint32
+	bits int8
+}
+
+const dir248LongFlag = uint32(1) << 31
+
+// NewDir248 returns an empty DIR-24-8 table. The first-level table is
+// allocated eagerly (64 MB of uint32s — the same space/time trade the
+// original hardware scheme makes).
+func NewDir248() *Dir248 {
+	return &Dir248{
+		tbl24:  make([]uint32, 1<<24),
+		routes: make(map[prefixKey]int),
+	}
+}
+
+// Insert adds or replaces a route. The table is rebuilt lazily on the next
+// Lookup after a batch of inserts (rebuild is O(#routes + table size)).
+func (d *Dir248) Insert(p netip.Prefix, nextHop int) error {
+	addr, bits, err := validate(p, nextHop)
+	if err != nil {
+		return err
+	}
+	d.routes[prefixKey{addr, int8(bits)}] = nextHop
+	d.dirty = true
+	return nil
+}
+
+// Len reports the number of installed prefixes.
+func (d *Dir248) Len() int { return len(d.routes) }
+
+// Freeze rebuilds the lookup arrays if needed. Lookup calls it
+// automatically, but callers that share the engine across goroutines must
+// call Freeze once before publishing, since rebuild is not thread-safe.
+func (d *Dir248) Freeze() {
+	if !d.dirty {
+		return
+	}
+	d.rebuild()
+	d.dirty = false
+}
+
+func (d *Dir248) rebuild() {
+	for i := range d.tbl24 {
+		d.tbl24[i] = 0
+	}
+	d.tblLong = d.tblLong[:0]
+
+	keys := make([]prefixKey, 0, len(d.routes))
+	for k := range d.routes {
+		keys = append(keys, k)
+	}
+	// Ascending prefix length; ties in address order for determinism.
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].bits != keys[j].bits {
+			return keys[i].bits < keys[j].bits
+		}
+		return keys[i].addr < keys[j].addr
+	})
+
+	for _, k := range keys {
+		hop := uint32(d.routes[k]) + 1 // leaf encoding: hop+1, 0 = empty
+		if k.bits <= 24 {
+			// Blocks are created only by >24-bit routes, which sort after
+			// every ≤24-bit route, so these entries are always leaves.
+			base := k.addr >> 8
+			count := uint32(1) << (24 - k.bits)
+			for i := uint32(0); i < count; i++ {
+				d.tbl24[base+i] = hop
+			}
+		} else {
+			idx := k.addr >> 8
+			e := d.tbl24[idx]
+			var blk []uint32
+			if e&dir248LongFlag != 0 {
+				blk = d.tblLong[e&^dir248LongFlag]
+			} else {
+				blk = make([]uint32, 256)
+				for j := range blk {
+					blk[j] = e // inherit the ≤/24 covering hop (possibly 0)
+				}
+				d.tbl24[idx] = dir248LongFlag | uint32(len(d.tblLong))
+				d.tblLong = append(d.tblLong, blk)
+			}
+			low := k.addr & 0xFF
+			count := uint32(1) << (32 - int(k.bits))
+			for i := uint32(0); i < count; i++ {
+				blk[low+i] = hop
+			}
+		}
+	}
+}
+
+// Lookup returns the next hop for dst, or NoRoute.
+func (d *Dir248) Lookup(dst uint32) int {
+	if d.dirty {
+		d.Freeze()
+	}
+	e := d.tbl24[dst>>8]
+	if e&dir248LongFlag != 0 {
+		e = d.tblLong[e&^dir248LongFlag][dst&0xFF]
+	}
+	if e == 0 {
+		return NoRoute
+	}
+	return int(e) - 1
+}
+
+// MemoryFootprint reports the approximate bytes used by the lookup arrays,
+// for the capacity analysis in EXPERIMENTS.md.
+func (d *Dir248) MemoryFootprint() int {
+	return 4*len(d.tbl24) + 4*256*len(d.tblLong)
+}
+
+// String summarizes the table shape.
+func (d *Dir248) String() string {
+	return fmt.Sprintf("dir248{routes=%d, longBlocks=%d}", len(d.routes), len(d.tblLong))
+}

@@ -1,0 +1,64 @@
+package lpm
+
+import "net/netip"
+
+// Trie is a binary (unibit) trie LPM engine. It is the baseline the paper
+// era's software routers shipped before compressed schemes; here it serves
+// as the obviously-correct reference implementation and as the comparison
+// point for the LPM ablation benchmark.
+type Trie struct {
+	root *trieNode
+	n    int
+}
+
+type trieNode struct {
+	child   [2]*trieNode
+	nextHop int
+	valid   bool
+}
+
+// NewTrie returns an empty trie.
+func NewTrie() *Trie {
+	return &Trie{root: &trieNode{}}
+}
+
+// Insert adds or replaces a route.
+func (t *Trie) Insert(p netip.Prefix, nextHop int) error {
+	addr, bits, err := validate(p, nextHop)
+	if err != nil {
+		return err
+	}
+	node := t.root
+	for i := 0; i < bits; i++ {
+		b := (addr >> (31 - i)) & 1
+		if node.child[b] == nil {
+			node.child[b] = &trieNode{}
+		}
+		node = node.child[b]
+	}
+	if !node.valid {
+		t.n++
+	}
+	node.valid = true
+	node.nextHop = nextHop
+	return nil
+}
+
+// Lookup walks the trie remembering the deepest valid node.
+func (t *Trie) Lookup(dst uint32) int {
+	best := NoRoute
+	node := t.root
+	for i := 0; node != nil; i++ {
+		if node.valid {
+			best = node.nextHop
+		}
+		if i == 32 {
+			break
+		}
+		node = node.child[(dst>>(31-i))&1]
+	}
+	return best
+}
+
+// Len reports the number of installed prefixes.
+func (t *Trie) Len() int { return t.n }

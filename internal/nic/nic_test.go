@@ -1,0 +1,327 @@
+package nic
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"routebricks/internal/pkt"
+)
+
+func mkpkt(i int) *pkt.Packet {
+	p := pkt.New(64, netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"),
+		uint16(i), 80)
+	p.SeqNo = uint64(i)
+	return p
+}
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 8; i++ {
+		if !r.Enqueue(mkpkt(i)) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if r.Enqueue(mkpkt(99)) {
+		t.Fatal("enqueue into full ring succeeded")
+	}
+	if r.Drops() != 1 {
+		t.Fatalf("drops = %d, want 1", r.Drops())
+	}
+	for i := 0; i < 8; i++ {
+		p := r.Dequeue()
+		if p == nil || p.SeqNo != uint64(i) {
+			t.Fatalf("dequeue %d: got %v", i, p)
+		}
+	}
+	if r.Dequeue() != nil {
+		t.Fatal("dequeue from empty ring returned a packet")
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, c := range []struct{ in, want int }{{0, 2}, {1, 2}, {2, 2}, {3, 4}, {5, 8}, {512, 512}, {513, 1024}} {
+		if got := NewRing(c.in).Cap(); got != c.want {
+			t.Errorf("NewRing(%d).Cap() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(4)
+	seq := 0
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 3; i++ {
+			if !r.Enqueue(mkpkt(seq + i)) {
+				t.Fatalf("enqueue failed at round %d", round)
+			}
+		}
+		for i := 0; i < 3; i++ {
+			p := r.Dequeue()
+			if p.SeqNo != uint64(seq+i) {
+				t.Fatalf("round %d: got seq %d, want %d", round, p.SeqNo, seq+i)
+			}
+		}
+		seq += 3
+	}
+}
+
+func TestRingDequeueBatch(t *testing.T) {
+	r := NewRing(64)
+	for i := 0; i < 10; i++ {
+		r.Enqueue(mkpkt(i))
+	}
+	out := make([]*pkt.Packet, 32)
+	n := r.DequeueBatch(out)
+	if n != 10 {
+		t.Fatalf("batch = %d, want 10", n)
+	}
+	for i := 0; i < n; i++ {
+		if out[i].SeqNo != uint64(i) {
+			t.Fatalf("batch order broken at %d", i)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("Len after drain = %d", r.Len())
+	}
+	// Batch smaller than occupancy.
+	for i := 0; i < 10; i++ {
+		r.Enqueue(mkpkt(100 + i))
+	}
+	small := make([]*pkt.Packet, 4)
+	if n := r.DequeueBatch(small); n != 4 {
+		t.Fatalf("small batch = %d, want 4", n)
+	}
+	if r.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", r.Len())
+	}
+}
+
+// SPSC stress: one producer and one consumer on separate goroutines must
+// transfer every packet exactly once, in order. Run with -race.
+func TestRingSPSCConcurrent(t *testing.T) {
+	r := NewRing(128)
+	const total = 200000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < total; {
+			if r.Enqueue(mkpkt(i)) {
+				i++
+			}
+		}
+	}()
+	var got []uint64
+	go func() {
+		defer wg.Done()
+		for len(got) < total {
+			if p := r.Dequeue(); p != nil {
+				got = append(got, p.SeqNo)
+			}
+		}
+	}()
+	wg.Wait()
+	for i, s := range got {
+		if s != uint64(i) {
+			t.Fatalf("out of order at %d: %d", i, s)
+		}
+	}
+}
+
+func TestPortDefaults(t *testing.T) {
+	p := NewPort(3, Config{})
+	if p.NumRX() != 1 || p.NumTX() != 1 {
+		t.Fatalf("default queues = %d/%d, want 1/1", p.NumRX(), p.NumTX())
+	}
+	if p.RX(0).Cap() != DefaultQueueSize {
+		t.Fatalf("default queue size = %d", p.RX(0).Cap())
+	}
+}
+
+// RSS must be flow-sticky: all packets of one flow land on one queue.
+func TestRSSFlowAffinity(t *testing.T) {
+	p := NewPort(0, Config{RXQueues: 8})
+	q := -1
+	for i := 0; i < 50; i++ {
+		pk := pkt.New(64, netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.9"), 777, 80)
+		idx := p.SteerIndex(pk)
+		if q == -1 {
+			q = idx
+		} else if idx != q {
+			t.Fatalf("flow moved from queue %d to %d", q, idx)
+		}
+	}
+}
+
+// RSS must actually spread distinct flows across queues.
+func TestRSSSpreads(t *testing.T) {
+	p := NewPort(0, Config{RXQueues: 8})
+	used := map[int]int{}
+	for i := 0; i < 2000; i++ {
+		pk := pkt.New(64, netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.9"),
+			uint16(i), 80)
+		used[p.SteerIndex(pk)]++
+	}
+	if len(used) != 8 {
+		t.Fatalf("flows hit %d/8 queues", len(used))
+	}
+	for q, n := range used {
+		if n < 2000/8/3 {
+			t.Errorf("queue %d badly underloaded: %d", q, n)
+		}
+	}
+}
+
+// MAC steering: node-encoded MACs map deterministically to queues;
+// others fall back to RSS.
+func TestMACSteering(t *testing.T) {
+	p := NewPort(0, Config{RXQueues: 4, Steering: SteerMAC})
+	for node := 0; node < 16; node++ {
+		pk := mkpkt(node)
+		pk.Ether().SetDst(pkt.NodeMAC(node))
+		if got, want := p.SteerIndex(pk), node%4; got != want {
+			t.Errorf("node %d steered to %d, want %d", node, got, want)
+		}
+	}
+	plain := mkpkt(1)
+	idx := p.SteerIndex(plain)
+	if idx < 0 || idx >= 4 {
+		t.Fatalf("fallback steer out of range: %d", idx)
+	}
+}
+
+func TestDeliverCountsDrops(t *testing.T) {
+	p := NewPort(0, Config{RXQueues: 1, QueueSize: 2})
+	for i := 0; i < 2; i++ {
+		if !p.Deliver(mkpkt(i)) {
+			t.Fatalf("deliver %d rejected", i)
+		}
+	}
+	if p.Deliver(mkpkt(3)) {
+		t.Fatal("deliver into full queue accepted")
+	}
+	if p.RXDrops() != 1 {
+		t.Fatalf("RXDrops = %d, want 1", p.RXDrops())
+	}
+}
+
+func TestDrainTXRoundRobin(t *testing.T) {
+	p := NewPort(0, Config{TXQueues: 2, QueueSize: 8})
+	for i := 0; i < 4; i++ {
+		p.TX(0).Enqueue(mkpkt(i))
+	}
+	for i := 10; i < 14; i++ {
+		p.TX(1).Enqueue(mkpkt(i))
+	}
+	out := make([]*pkt.Packet, 16)
+	cursor := 0
+	n := p.DrainTX(out, &cursor)
+	if n != 8 {
+		t.Fatalf("drained %d, want 8", n)
+	}
+	// Within each queue, order preserved.
+	var q0, q1 []uint64
+	for _, pk := range out[:n] {
+		if pk.SeqNo < 10 {
+			q0 = append(q0, pk.SeqNo)
+		} else {
+			q1 = append(q1, pk.SeqNo)
+		}
+	}
+	for i := 1; i < len(q0); i++ {
+		if q0[i] < q0[i-1] {
+			t.Fatal("q0 order broken")
+		}
+	}
+	for i := 1; i < len(q1); i++ {
+		if q1[i] < q1[i-1] {
+			t.Fatal("q1 order broken")
+		}
+	}
+}
+
+func TestDrainTXPartial(t *testing.T) {
+	p := NewPort(0, Config{TXQueues: 2, QueueSize: 8})
+	for i := 0; i < 6; i++ {
+		p.TX(i % 2).Enqueue(mkpkt(i))
+	}
+	out := make([]*pkt.Packet, 4)
+	cursor := 0
+	if n := p.DrainTX(out, &cursor); n != 4 {
+		t.Fatalf("drained %d, want 4", n)
+	}
+	if got := p.TX(0).Len() + p.TX(1).Len(); got != 2 {
+		t.Fatalf("left %d, want 2", got)
+	}
+}
+
+// Property: a ring never loses or duplicates packets — everything
+// enqueued successfully is dequeued exactly once, in order.
+func TestPropertyRingConservation(t *testing.T) {
+	f := func(ops []bool, capBits uint8) bool {
+		r := NewRing(2 + int(capBits)%62)
+		next := 0
+		var want []int
+		var got []int
+		for _, enq := range ops {
+			if enq {
+				if r.Enqueue(mkpkt(next)) {
+					want = append(want, next)
+				}
+				next++
+			} else if p := r.Dequeue(); p != nil {
+				got = append(got, int(p.SeqNo))
+			}
+		}
+		for p := r.Dequeue(); p != nil; p = r.Dequeue() {
+			got = append(got, int(p.SeqNo))
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRingEnqueueDequeue(b *testing.B) {
+	r := NewRing(512)
+	p := mkpkt(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Enqueue(p)
+		r.Dequeue()
+	}
+}
+
+func BenchmarkRingBatch32(b *testing.B) {
+	r := NewRing(512)
+	p := mkpkt(0)
+	out := make([]*pkt.Packet, 32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 32; j++ {
+			r.Enqueue(p)
+		}
+		r.DequeueBatch(out)
+	}
+}
+
+func BenchmarkSteerRSS(b *testing.B) {
+	p := NewPort(0, Config{RXQueues: 8})
+	pk := mkpkt(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pk.FlowID = 0
+		p.SteerIndex(pk)
+	}
+}

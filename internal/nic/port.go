@@ -1,0 +1,147 @@
+package nic
+
+import (
+	"fmt"
+
+	"routebricks/internal/pkt"
+)
+
+// SteeringMode selects how the receive side picks a queue for an
+// incoming packet.
+type SteeringMode int
+
+const (
+	// SteerRSS hashes the 5-tuple, the standard receive-side scaling
+	// that keeps same-flow packets on one queue (and therefore one core).
+	SteerRSS SteeringMode = iota
+	// SteerMAC uses the RB4 trick (§6.1): the destination MAC encodes
+	// the VLB output node, so the queue index identifies the output port
+	// without any header processing. Packets without a node-encoded MAC
+	// fall back to RSS.
+	SteerMAC
+)
+
+// Port is one physical NIC port with its receive and transmit queue sets.
+type Port struct {
+	ID       int
+	Steering SteeringMode
+
+	rx []*Ring
+	tx []*Ring
+
+	// rssSalt perturbs queue selection so different ports spread flows
+	// differently, like per-port RSS keys.
+	rssSalt uint64
+}
+
+// Config sizes a port's queue complement.
+type Config struct {
+	RXQueues  int
+	TXQueues  int
+	QueueSize int
+	Steering  SteeringMode
+}
+
+// DefaultQueueSize matches the 512-descriptor rings common on the
+// paper-era Intel 10G parts.
+const DefaultQueueSize = 512
+
+// NewPort builds a port. Queue counts default to 1 and size to
+// DefaultQueueSize, so the zero Config is the paper's "single queue"
+// baseline.
+func NewPort(id int, cfg Config) *Port {
+	if cfg.RXQueues < 1 {
+		cfg.RXQueues = 1
+	}
+	if cfg.TXQueues < 1 {
+		cfg.TXQueues = 1
+	}
+	if cfg.QueueSize < 1 {
+		cfg.QueueSize = DefaultQueueSize
+	}
+	p := &Port{ID: id, Steering: cfg.Steering, rssSalt: uint64(id) * 0x9E3779B97F4A7C15}
+	for i := 0; i < cfg.RXQueues; i++ {
+		p.rx = append(p.rx, NewRing(cfg.QueueSize))
+	}
+	for i := 0; i < cfg.TXQueues; i++ {
+		p.tx = append(p.tx, NewRing(cfg.QueueSize))
+	}
+	return p
+}
+
+// NumRX reports the receive queue count.
+func (p *Port) NumRX() int { return len(p.rx) }
+
+// NumTX reports the transmit queue count.
+func (p *Port) NumTX() int { return len(p.tx) }
+
+// RX returns receive queue i.
+func (p *Port) RX(i int) *Ring { return p.rx[i] }
+
+// TX returns transmit queue i.
+func (p *Port) TX(i int) *Ring { return p.tx[i] }
+
+// SteerIndex computes the receive queue index for a packet without
+// enqueuing it.
+func (p *Port) SteerIndex(pk *pkt.Packet) int {
+	n := uint64(len(p.rx))
+	if p.Steering == SteerMAC {
+		if dst := pk.Ether().Dst(); dst.IsNodeMAC() {
+			return int(uint64(dst.Node()) % n)
+		}
+	}
+	return int((pk.FlowHash() ^ p.rssSalt) % n)
+}
+
+// Deliver is the wire-side receive path: steer to a queue and enqueue.
+// It reports whether the packet was accepted.
+func (p *Port) Deliver(pk *pkt.Packet) bool {
+	return p.rx[p.SteerIndex(pk)].Enqueue(pk)
+}
+
+// RXDrops sums drops across receive queues.
+func (p *Port) RXDrops() uint64 {
+	var d uint64
+	for _, r := range p.rx {
+		d += r.Drops()
+	}
+	return d
+}
+
+// TXDrops sums drops across transmit queues.
+func (p *Port) TXDrops() uint64 {
+	var d uint64
+	for _, r := range p.tx {
+		d += r.Drops()
+	}
+	return d
+}
+
+// DrainTX collects up to max packets from the transmit queues, visiting
+// them round-robin starting at *cursor (which is advanced). This is the
+// NIC-side DMA engine's view; kn batching is applied by the caller that
+// schedules DMA transactions.
+func (p *Port) DrainTX(out []*pkt.Packet, cursor *int) int {
+	n := 0
+	for range p.tx {
+		q := p.tx[*cursor%len(p.tx)]
+		*cursor++
+		for n < len(out) {
+			pk := q.Dequeue()
+			if pk == nil {
+				break
+			}
+			out[n] = pk
+			n++
+		}
+		if n == len(out) {
+			break
+		}
+	}
+	return n
+}
+
+// String identifies the port.
+func (p *Port) String() string {
+	return fmt.Sprintf("port%d{rx=%d tx=%d}", p.ID, len(p.rx), len(p.tx))
+}

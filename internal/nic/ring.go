@@ -1,0 +1,106 @@
+// Package nic models the multi-queue 10 Gbps NICs that §4.2 of the
+// RouteBricks paper identifies as essential: per-core receive/transmit
+// descriptor rings, RSS flow hashing, the MAC-address queue steering RB4
+// uses to skip header processing at non-input nodes, and kp/kn batching
+// parameters. Rings are single-producer/single-consumer and lock-free,
+// which is exactly the discipline the paper's two rules ("one core per
+// queue, one core per packet") buy: no queue ever needs a lock.
+package nic
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"routebricks/internal/pkt"
+)
+
+// Ring is a fixed-capacity single-producer/single-consumer packet ring,
+// the software image of a NIC descriptor ring. Enqueue and Dequeue may be
+// called concurrently from one producer and one consumer goroutine; a
+// second concurrent producer (the situation multi-queue NICs exist to
+// avoid) is a programming error that corrupts no memory but can drop or
+// duplicate slots — tests enforce the SPSC discipline instead.
+type Ring struct {
+	buf   []*pkt.Packet
+	mask  uint64
+	_     [48]byte // keep head/tail on separate cache lines
+	head  atomic.Uint64
+	_     [56]byte
+	tail  atomic.Uint64
+	_     [56]byte
+	drops atomic.Uint64
+}
+
+// NewRing creates a ring with capacity rounded up to a power of two
+// (minimum 2). Real descriptor rings are power-of-two sized for the same
+// index-masking reason.
+func NewRing(capacity int) *Ring {
+	if capacity < 2 {
+		capacity = 2
+	}
+	c := 1
+	for c < capacity {
+		c <<= 1
+	}
+	return &Ring{buf: make([]*pkt.Packet, c), mask: uint64(c - 1)}
+}
+
+// Cap reports the usable capacity.
+func (r *Ring) Cap() int { return len(r.buf) }
+
+// Len reports the current occupancy (approximate under concurrency).
+func (r *Ring) Len() int {
+	return int(r.tail.Load() - r.head.Load())
+}
+
+// Drops reports how many packets Enqueue rejected because the ring was
+// full — the loss counter behind every "loss-free rate" measurement.
+func (r *Ring) Drops() uint64 { return r.drops.Load() }
+
+// Enqueue appends p; it reports false (and counts a drop) when full.
+func (r *Ring) Enqueue(p *pkt.Packet) bool {
+	tail := r.tail.Load()
+	if tail-r.head.Load() >= uint64(len(r.buf)) {
+		r.drops.Add(1)
+		return false
+	}
+	r.buf[tail&r.mask] = p
+	r.tail.Store(tail + 1)
+	return true
+}
+
+// Dequeue removes and returns the oldest packet, or nil when empty.
+func (r *Ring) Dequeue() *pkt.Packet {
+	head := r.head.Load()
+	if head == r.tail.Load() {
+		return nil
+	}
+	p := r.buf[head&r.mask]
+	r.buf[head&r.mask] = nil
+	r.head.Store(head + 1)
+	return p
+}
+
+// DequeueBatch fills out with up to len(out) packets and returns the
+// count — the kp packets-per-poll operation.
+func (r *Ring) DequeueBatch(out []*pkt.Packet) int {
+	head := r.head.Load()
+	avail := r.tail.Load() - head
+	n := uint64(len(out))
+	if avail < n {
+		n = avail
+	}
+	for i := uint64(0); i < n; i++ {
+		out[i] = r.buf[(head+i)&r.mask]
+		r.buf[(head+i)&r.mask] = nil
+	}
+	if n > 0 {
+		r.head.Store(head + n)
+	}
+	return int(n)
+}
+
+// String summarizes occupancy for debugging.
+func (r *Ring) String() string {
+	return fmt.Sprintf("ring{%d/%d, drops=%d}", r.Len(), r.Cap(), r.Drops())
+}

@@ -1,0 +1,34 @@
+package pcap
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader asserts the pcap reader survives arbitrary byte streams:
+// no panics, no unbounded allocations (the snaplen check), and clean
+// errors.
+func FuzzReader(f *testing.F) {
+	var good bytes.Buffer
+	w, _ := NewWriter(&good)
+	w.WritePacket(123456789, []byte("hello world frame"))
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xd4, 0xc3, 0xb2, 0xa1}) // byte-swapped magic
+	truncated := good.Bytes()[:len(good.Bytes())-5]
+	f.Add(truncated)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			_, err := r.Next()
+			if err == io.EOF || err != nil {
+				return
+			}
+		}
+	})
+}

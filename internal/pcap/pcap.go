@@ -1,0 +1,142 @@
+// Package pcap reads and writes classic libpcap capture files (the
+// pre-pcapng format every analysis tool accepts). The router uses it to
+// dump traffic at tap points — simulated runs stamp virtual time, the
+// UDP router stamps wall time — so captures can be inspected with
+// standard tooling.
+package pcap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Magic is the little-endian microsecond-resolution pcap magic.
+const Magic = 0xa1b2c3d4
+
+// LinkTypeEthernet is DLT_EN10MB.
+const LinkTypeEthernet = 1
+
+const (
+	globalHdrLen = 24
+	recordHdrLen = 16
+	// DefaultSnapLen captures whole frames at any size we generate.
+	DefaultSnapLen = 65535
+)
+
+// Writer emits a pcap stream.
+type Writer struct {
+	w       io.Writer
+	snaplen uint32
+	wrote   uint64
+}
+
+// NewWriter writes the global header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	var hdr [globalHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], Magic)
+	binary.LittleEndian.PutUint16(hdr[4:6], 2) // major
+	binary.LittleEndian.PutUint16(hdr[6:8], 4) // minor
+	// thiszone, sigfigs = 0
+	binary.LittleEndian.PutUint32(hdr[16:20], DefaultSnapLen)
+	binary.LittleEndian.PutUint32(hdr[20:24], LinkTypeEthernet)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: write header: %w", err)
+	}
+	return &Writer{w: w, snaplen: DefaultSnapLen}, nil
+}
+
+// WritePacket records one frame with a timestamp in nanoseconds.
+func (w *Writer) WritePacket(tsNanos int64, frame []byte) error {
+	incl := len(frame)
+	if uint32(incl) > w.snaplen {
+		incl = int(w.snaplen)
+	}
+	var hdr [recordHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(tsNanos/1e9))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(tsNanos%1e9/1e3))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(incl))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(len(frame)))
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("pcap: write record header: %w", err)
+	}
+	if _, err := w.w.Write(frame[:incl]); err != nil {
+		return fmt.Errorf("pcap: write record: %w", err)
+	}
+	w.wrote++
+	return nil
+}
+
+// Count reports packets written.
+func (w *Writer) Count() uint64 { return w.wrote }
+
+// Record is one captured frame.
+type Record struct {
+	TsNanos int64
+	OrigLen int
+	Data    []byte
+}
+
+// Reader consumes a pcap stream.
+type Reader struct {
+	r       io.Reader
+	snaplen uint32
+}
+
+// NewReader validates the global header and returns a Reader. Only the
+// little-endian microsecond format this package writes is accepted.
+func NewReader(r io.Reader) (*Reader, error) {
+	var hdr [globalHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("pcap: read header: %w", err)
+	}
+	if got := binary.LittleEndian.Uint32(hdr[0:4]); got != Magic {
+		return nil, fmt.Errorf("pcap: bad magic %#x", got)
+	}
+	if lt := binary.LittleEndian.Uint32(hdr[20:24]); lt != LinkTypeEthernet {
+		return nil, fmt.Errorf("pcap: unsupported link type %d", lt)
+	}
+	return &Reader{r: r, snaplen: binary.LittleEndian.Uint32(hdr[16:20])}, nil
+}
+
+// Next returns the next record, or io.EOF at a clean end of stream.
+func (r *Reader) Next() (Record, error) {
+	var hdr [recordHdrLen]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("pcap: read record header: %w", err)
+	}
+	sec := binary.LittleEndian.Uint32(hdr[0:4])
+	usec := binary.LittleEndian.Uint32(hdr[4:8])
+	incl := binary.LittleEndian.Uint32(hdr[8:12])
+	orig := binary.LittleEndian.Uint32(hdr[12:16])
+	if incl > r.snaplen {
+		return Record{}, fmt.Errorf("pcap: record length %d exceeds snaplen %d", incl, r.snaplen)
+	}
+	data := make([]byte, incl)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return Record{}, fmt.Errorf("pcap: read record body: %w", err)
+	}
+	return Record{
+		TsNanos: int64(sec)*1e9 + int64(usec)*1e3,
+		OrigLen: int(orig),
+		Data:    data,
+	}, nil
+}
+
+// ReadAll drains the stream.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}

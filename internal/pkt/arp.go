@@ -1,0 +1,105 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// ARP for Ethernet/IPv4 (RFC 826) — the address-resolution substrate any
+// deployable router front-end needs on its external ports.
+
+// ARP opcodes.
+const (
+	ARPRequest = 1
+	ARPReply   = 2
+
+	ARPLen = 28 // hw ethernet + proto ipv4 ARP body
+)
+
+// ARPHdr is a zero-copy view over an ARP body (after the Ethernet header).
+type ARPHdr []byte
+
+// Valid reports whether the header describes Ethernet/IPv4 ARP.
+func (h ARPHdr) Valid() bool {
+	return len(h) >= ARPLen &&
+		binary.BigEndian.Uint16(h[0:2]) == 1 && // hardware: ethernet
+		binary.BigEndian.Uint16(h[2:4]) == EtherTypeIPv4 &&
+		h[4] == 6 && h[5] == 4
+}
+
+// Op returns the opcode.
+func (h ARPHdr) Op() uint16 { return binary.BigEndian.Uint16(h[6:8]) }
+
+// SetOp sets the opcode.
+func (h ARPHdr) SetOp(v uint16) { binary.BigEndian.PutUint16(h[6:8], v) }
+
+// SenderMAC returns the sender hardware address.
+func (h ARPHdr) SenderMAC() MAC { var m MAC; copy(m[:], h[8:14]); return m }
+
+// SenderIP returns the sender protocol address.
+func (h ARPHdr) SenderIP() netip.Addr {
+	var a [4]byte
+	copy(a[:], h[14:18])
+	return netip.AddrFrom4(a)
+}
+
+// TargetMAC returns the target hardware address.
+func (h ARPHdr) TargetMAC() MAC { var m MAC; copy(m[:], h[18:24]); return m }
+
+// TargetIP returns the target protocol address.
+func (h ARPHdr) TargetIP() netip.Addr {
+	var a [4]byte
+	copy(a[:], h[24:28])
+	return netip.AddrFrom4(a)
+}
+
+// SetSender writes the sender addresses.
+func (h ARPHdr) SetSender(m MAC, ip netip.Addr) {
+	copy(h[8:14], m[:])
+	b := ip.As4()
+	copy(h[14:18], b[:])
+}
+
+// SetTarget writes the target addresses.
+func (h ARPHdr) SetTarget(m MAC, ip netip.Addr) {
+	copy(h[18:24], m[:])
+	b := ip.As4()
+	copy(h[24:28], b[:])
+}
+
+// ARP returns a view over the ARP body of an Ethernet/ARP frame.
+func (p *Packet) ARP() ARPHdr { return ARPHdr(p.Data[EtherHdrLen:]) }
+
+// BroadcastMAC is ff:ff:ff:ff:ff:ff.
+var BroadcastMAC = MAC{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+
+// NewARP builds an ARP frame. For requests, targetMAC is ignored and the
+// frame is broadcast; replies are unicast to targetMAC.
+func NewARP(op uint16, senderMAC MAC, senderIP netip.Addr, targetMAC MAC, targetIP netip.Addr) *Packet {
+	size := EtherHdrLen + ARPLen
+	if size < MinSize {
+		size = MinSize
+	}
+	p := &Packet{Data: make([]byte, size)}
+	eh := p.Ether()
+	eh.SetSrc(senderMAC)
+	if op == ARPRequest {
+		eh.SetDst(BroadcastMAC)
+	} else {
+		eh.SetDst(targetMAC)
+	}
+	eh.SetEtherType(EtherTypeARP)
+	a := p.ARP()
+	binary.BigEndian.PutUint16(a[0:2], 1)
+	binary.BigEndian.PutUint16(a[2:4], EtherTypeIPv4)
+	a[4] = 6
+	a[5] = 4
+	a.SetOp(op)
+	a.SetSender(senderMAC, senderIP)
+	if op == ARPRequest {
+		a.SetTarget(MAC{}, targetIP)
+	} else {
+		a.SetTarget(targetMAC, targetIP)
+	}
+	return p
+}

@@ -1,0 +1,66 @@
+package pkt
+
+import "encoding/binary"
+
+// FlowKey identifies a transport flow by its 5-tuple. VLB flowlet tracking
+// and RSS queue selection both key on it.
+type FlowKey struct {
+	Src, Dst uint32
+	SrcPort  uint16
+	DstPort  uint16
+	Proto    uint8
+}
+
+// Flow extracts the 5-tuple of an IPv4/{TCP,UDP} packet. For other
+// protocols the port fields are zero, which still yields a stable key.
+func (p *Packet) Flow() FlowKey {
+	ih := p.IPv4()
+	k := FlowKey{
+		Src:   ih.SrcUint32(),
+		Dst:   ih.DstUint32(),
+		Proto: ih.Protocol(),
+	}
+	if k.Proto == ProtoTCP || k.Proto == ProtoUDP {
+		l4 := p.Data[EtherHdrLen+IPv4HdrLen:]
+		if len(l4) >= 4 {
+			k.SrcPort = binary.BigEndian.Uint16(l4[0:2])
+			k.DstPort = binary.BigEndian.Uint16(l4[2:4])
+		}
+	}
+	return k
+}
+
+// Hash mixes the 5-tuple into a 64-bit value with an FNV-1a-style mix.
+// NIC RSS and flowlet tables take subsets of these bits. The function is
+// symmetric in nothing: direction matters, as it does for real RSS.
+func (k FlowKey) Hash() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(v uint64, n int) {
+		for i := 0; i < n; i++ {
+			h ^= v & 0xFF
+			h *= prime
+			v >>= 8
+		}
+	}
+	mix(uint64(k.Src), 4)
+	mix(uint64(k.Dst), 4)
+	mix(uint64(k.SrcPort), 2)
+	mix(uint64(k.DstPort), 2)
+	mix(uint64(k.Proto), 1)
+	return h
+}
+
+// FlowHash returns (and caches) the packet's flow hash.
+func (p *Packet) FlowHash() uint64 {
+	if p.FlowID == 0 {
+		p.FlowID = p.Flow().Hash()
+		if p.FlowID == 0 {
+			p.FlowID = 1 // reserve 0 as "unset"
+		}
+	}
+	return p.FlowID
+}

@@ -1,0 +1,84 @@
+package pkt
+
+import "encoding/binary"
+
+// IPv4 fragmentation (RFC 791). The IPsec gateway path needs it: ESP
+// encapsulation of an MTU-sized inner packet overflows the outer MTU, so
+// a production gateway either fragments or relies on PMTU discovery. The
+// router also forwards fragments like any other packets (they share the
+// flow key of their first fragment only if ports are present, so
+// fragments after the first hash on addresses+protocol alone — which is
+// also how real RSS behaves).
+
+// Fragment flag bits in the IPv4 flags/offset field.
+const (
+	FlagDF = 0x4000 // don't fragment
+	FlagMF = 0x2000 // more fragments
+)
+
+// FlagsOffset returns the raw flags+fragment-offset field.
+func (h IPv4Hdr) FlagsOffset() uint16 { return binary.BigEndian.Uint16(h[6:8]) }
+
+// SetFlagsOffset sets the raw flags+fragment-offset field.
+func (h IPv4Hdr) SetFlagsOffset(v uint16) { binary.BigEndian.PutUint16(h[6:8], v) }
+
+// DF reports the don't-fragment bit.
+func (h IPv4Hdr) DF() bool { return h.FlagsOffset()&FlagDF != 0 }
+
+// MF reports the more-fragments bit.
+func (h IPv4Hdr) MF() bool { return h.FlagsOffset()&FlagMF != 0 }
+
+// FragOffset reports the fragment offset in bytes.
+func (h IPv4Hdr) FragOffset() int { return int(h.FlagsOffset()&0x1FFF) * 8 }
+
+// Fragment splits an IPv4 packet into fragments whose IP payloads are at
+// most mtu−IPv4HdrLen bytes (mtu counts the IP header, not Ethernet).
+// It returns the original packet unchanged if it already fits. Fragment
+// payload sizes are multiples of 8 except the last. The DF bit is the
+// caller's to check.
+func (p *Packet) Fragment(mtu int) []*Packet {
+	ipLen := int(p.IPv4().TotalLength())
+	if ipLen <= mtu {
+		return []*Packet{p}
+	}
+	payload := p.Data[EtherHdrLen+IPv4HdrLen : EtherHdrLen+ipLen]
+	chunk := (mtu - IPv4HdrLen) &^ 7 // multiple of 8
+	if chunk <= 0 {
+		return []*Packet{p}
+	}
+	baseOffset := p.IPv4().FragOffset() / 8
+	origMF := p.IPv4().MF()
+
+	var frags []*Packet
+	for off := 0; off < len(payload); off += chunk {
+		end := off + chunk
+		last := false
+		if end >= len(payload) {
+			end = len(payload)
+			last = true
+		}
+		fragLen := EtherHdrLen + IPv4HdrLen + (end - off)
+		frameLen := fragLen
+		if frameLen < MinSize {
+			frameLen = MinSize
+		}
+		f := &Packet{
+			Data:      make([]byte, frameLen),
+			Arrival:   p.Arrival,
+			InputPort: p.InputPort,
+			SeqNo:     p.SeqNo,
+		}
+		copy(f.Data[:EtherHdrLen+IPv4HdrLen], p.Data[:EtherHdrLen+IPv4HdrLen])
+		copy(f.Data[EtherHdrLen+IPv4HdrLen:], payload[off:end])
+		ih := f.IPv4()
+		ih.SetTotalLength(uint16(IPv4HdrLen + (end - off)))
+		fo := uint16(baseOffset + off/8)
+		if !last || origMF {
+			fo |= FlagMF
+		}
+		ih.SetFlagsOffset(fo)
+		ih.UpdateChecksum()
+		frags = append(frags, f)
+	}
+	return frags
+}

@@ -1,0 +1,85 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// ICMP types used by the router datapath.
+const (
+	ICMPEchoReply    = 0
+	ICMPDestUnreach  = 3
+	ICMPEcho         = 8
+	ICMPTimeExceeded = 11
+
+	ICMPHdrLen = 8
+)
+
+// ICMP codes.
+const (
+	ICMPCodeTTLExpired = 0 // for ICMPTimeExceeded
+	ICMPCodeFragNeeded = 4 // for ICMPDestUnreach (PMTU discovery)
+	ICMPCodeNetUnreach = 0 // for ICMPDestUnreach
+)
+
+// ICMPHdr is a zero-copy view over an ICMP header.
+type ICMPHdr []byte
+
+// Type returns the ICMP type.
+func (h ICMPHdr) Type() uint8 { return h[0] }
+
+// Code returns the ICMP code.
+func (h ICMPHdr) Code() uint8 { return h[1] }
+
+// SetType sets the ICMP type.
+func (h ICMPHdr) SetType(v uint8) { h[0] = v }
+
+// SetCode sets the ICMP code.
+func (h ICMPHdr) SetCode(v uint8) { h[1] = v }
+
+// Checksum returns the ICMP checksum field.
+func (h ICMPHdr) Checksum() uint16 { return binary.BigEndian.Uint16(h[2:4]) }
+
+// SetChecksum sets the ICMP checksum field.
+func (h ICMPHdr) SetChecksum(v uint16) { binary.BigEndian.PutUint16(h[2:4], v) }
+
+// ICMP returns a view over the ICMP header of an IPv4/ICMP packet.
+func (p *Packet) ICMP() ICMPHdr { return ICMPHdr(p.Data[EtherHdrLen+IPv4HdrLen:]) }
+
+// NewICMPError builds the ICMP error a router sends about a failing
+// packet: IP header + 8 bytes of the original datagram quoted after an
+// 8-byte ICMP header (RFC 792). src is the erroring router's address;
+// the error is addressed to the original packet's source.
+func NewICMPError(orig *Packet, src netip.Addr, icmpType, icmpCode uint8) *Packet {
+	quote := IPv4HdrLen + 8
+	avail := len(orig.Data) - EtherHdrLen
+	if avail < quote {
+		quote = avail
+	}
+	total := EtherHdrLen + IPv4HdrLen + ICMPHdrLen + quote
+	if total < MinSize {
+		total = MinSize // pad to minimum frame
+	}
+	p := &Packet{Data: make([]byte, total)}
+	eh := p.Ether()
+	eh.SetDst(orig.Ether().Src())
+	eh.SetSrc(orig.Ether().Dst())
+	eh.SetEtherType(EtherTypeIPv4)
+
+	ih := p.IPv4()
+	ih.SetVersionIHL()
+	ih.SetTotalLength(uint16(IPv4HdrLen + ICMPHdrLen + quote))
+	ih.SetTTL(64)
+	ih.SetProtocol(ProtoICMP)
+	ih.SetSrc(src)
+	ih.SetDst(orig.IPv4().Src())
+	ih.UpdateChecksum()
+
+	icmp := p.ICMP()
+	icmp.SetType(icmpType)
+	icmp.SetCode(icmpCode)
+	copy(p.Data[EtherHdrLen+IPv4HdrLen+ICMPHdrLen:], orig.Data[EtherHdrLen:EtherHdrLen+quote])
+	icmp.SetChecksum(0)
+	icmp.SetChecksum(Checksum(p.Data[EtherHdrLen+IPv4HdrLen : EtherHdrLen+IPv4HdrLen+ICMPHdrLen+quote]))
+	return p
+}

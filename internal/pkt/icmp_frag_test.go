@@ -1,0 +1,164 @@
+package pkt
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func TestICMPErrorConstruction(t *testing.T) {
+	orig := New(200, addr("10.1.1.1"), addr("10.2.2.2"), 5555, 80)
+	orig.Ether().SetSrc(MAC{1, 2, 3, 4, 5, 6})
+	orig.Ether().SetDst(MAC{9, 8, 7, 6, 5, 4})
+	routerAddr := addr("192.0.2.254")
+
+	e := NewICMPError(orig, routerAddr, ICMPTimeExceeded, ICMPCodeTTLExpired)
+	ih := e.IPv4()
+	if ih.Protocol() != ProtoICMP {
+		t.Fatalf("protocol = %d", ih.Protocol())
+	}
+	if ih.Src() != routerAddr {
+		t.Fatalf("src = %v, want router", ih.Src())
+	}
+	if ih.Dst() != addr("10.1.1.1") {
+		t.Fatalf("dst = %v, want original source", ih.Dst())
+	}
+	if !ih.VerifyChecksum() {
+		t.Fatal("IP checksum invalid")
+	}
+	icmp := e.ICMP()
+	if icmp.Type() != ICMPTimeExceeded || icmp.Code() != ICMPCodeTTLExpired {
+		t.Fatalf("type/code = %d/%d", icmp.Type(), icmp.Code())
+	}
+	// ICMP checksum over header+payload must verify to zero.
+	body := e.Data[EtherHdrLen+IPv4HdrLen : EtherHdrLen+int(ih.TotalLength())]
+	if Checksum(body) != 0 {
+		t.Fatal("ICMP checksum invalid")
+	}
+	// Quoted bytes: original IP header + 8.
+	quote := e.Data[EtherHdrLen+IPv4HdrLen+ICMPHdrLen:]
+	if !bytes.Equal(quote[:IPv4HdrLen+8], orig.Data[EtherHdrLen:EtherHdrLen+IPv4HdrLen+8]) {
+		t.Fatal("quoted original bytes mismatch")
+	}
+	// Ethernet addressing reversed.
+	if e.Ether().Dst() != orig.Ether().Src() {
+		t.Fatal("ethernet dst not reversed")
+	}
+	if e.Len() < MinSize {
+		t.Fatalf("frame below minimum: %d", e.Len())
+	}
+}
+
+func TestICMPErrorShortOriginal(t *testing.T) {
+	// A 64 B original has fewer than 28 quotable bytes past Ethernet?
+	// 64-14 = 50 ≥ 28, so build an artificially short one.
+	orig := &Packet{Data: make([]byte, EtherHdrLen+IPv4HdrLen+4)}
+	orig.IPv4().SetVersionIHL()
+	orig.IPv4().SetSrc(addr("1.2.3.4"))
+	e := NewICMPError(orig, addr("5.6.7.8"), ICMPDestUnreach, ICMPCodeNetUnreach)
+	if e == nil || e.Len() < MinSize {
+		t.Fatal("short original not handled")
+	}
+}
+
+func TestFragmentRoundTrip(t *testing.T) {
+	const size = 1514 // 1500 IP + ether
+	p := New(size, addr("10.0.0.1"), addr("10.0.0.2"), 1, 2)
+	for i := EtherHdrLen + IPv4HdrLen + UDPHdrLen; i < size; i++ {
+		p.Data[i] = byte(i * 7)
+	}
+	p.IPv4().UpdateChecksum()
+	orig := p.Clone()
+
+	frags := p.Fragment(576)
+	if len(frags) < 3 {
+		t.Fatalf("fragments = %d, want ≥3", len(frags))
+	}
+	// Reassemble by offset and compare payload bytes.
+	reassembled := make([]byte, 1500-IPv4HdrLen)
+	seen := 0
+	for i, f := range frags {
+		ih := f.IPv4()
+		if !ih.VerifyChecksum() {
+			t.Fatalf("fragment %d checksum invalid", i)
+		}
+		off := ih.FragOffset()
+		data := f.Data[EtherHdrLen+IPv4HdrLen : EtherHdrLen+int(ih.TotalLength())]
+		copy(reassembled[off:], data)
+		seen += len(data)
+		if i < len(frags)-1 {
+			if !ih.MF() {
+				t.Fatalf("fragment %d missing MF", i)
+			}
+			if len(data)%8 != 0 {
+				t.Fatalf("fragment %d payload %d not multiple of 8", i, len(data))
+			}
+			if int(ih.TotalLength()) > 576 {
+				t.Fatalf("fragment %d exceeds MTU", i)
+			}
+		} else if ih.MF() {
+			t.Fatal("last fragment has MF set")
+		}
+	}
+	if seen != len(reassembled) {
+		t.Fatalf("reassembled %d of %d bytes", seen, len(reassembled))
+	}
+	want := orig.Data[EtherHdrLen+IPv4HdrLen : EtherHdrLen+1500]
+	if !bytes.Equal(reassembled, want) {
+		t.Fatal("reassembled payload differs")
+	}
+}
+
+func TestFragmentFitsUnchanged(t *testing.T) {
+	p := New(200, addr("10.0.0.1"), addr("10.0.0.2"), 1, 2)
+	frags := p.Fragment(576)
+	if len(frags) != 1 || frags[0] != p {
+		t.Fatal("undersized packet was fragmented")
+	}
+}
+
+func TestFragmentPreservesExistingOffset(t *testing.T) {
+	// Fragmenting a fragment must offset relative to the original datagram.
+	p := New(1014, addr("10.0.0.1"), addr("10.0.0.2"), 1, 2)
+	p.IPv4().SetFlagsOffset(FlagMF | (1000 / 8)) // a middle fragment
+	p.IPv4().UpdateChecksum()
+	frags := p.Fragment(576)
+	if len(frags) < 2 {
+		t.Fatalf("fragments = %d", len(frags))
+	}
+	if got := frags[0].IPv4().FragOffset(); got != 1000 {
+		t.Fatalf("first sub-fragment offset = %d, want 1000", got)
+	}
+	if !frags[len(frags)-1].IPv4().MF() {
+		t.Fatal("sub-fragments of a middle fragment must all keep MF")
+	}
+}
+
+// Property: fragments cover the payload exactly once, in order, for any
+// size/mtu combination.
+func TestPropertyFragmentCoverage(t *testing.T) {
+	f := func(sizeRaw, mtuRaw uint16) bool {
+		size := 64 + int(sizeRaw)%1450
+		mtu := 68 + int(mtuRaw)%1400 // ≥68 per RFC 791
+		p := New(size, addr("10.0.0.1"), addr("10.0.0.2"), 1, 2)
+		ipLen := int(p.IPv4().TotalLength())
+		frags := p.Fragment(mtu)
+		covered := 0
+		expectedOff := 0
+		for _, fr := range frags {
+			if fr.IPv4().FragOffset() != expectedOff && len(frags) > 1 {
+				return false
+			}
+			n := int(fr.IPv4().TotalLength()) - IPv4HdrLen
+			covered += n
+			expectedOff += n
+		}
+		return covered == ipLen-IPv4HdrLen
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func addrFrom(b [4]byte) netip.Addr { return netip.AddrFrom4(b) }

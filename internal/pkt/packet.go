@@ -1,0 +1,286 @@
+// Package pkt defines the packet representation shared by every layer of
+// the router: raw bytes plus parsed header views, Ethernet/IPv4/UDP/TCP
+// marshalling, the internet checksum, and the 5-tuple flow hash used for
+// RSS queue selection and VLB flowlet tracking.
+//
+// Packets are real: elements parse and rewrite actual header bytes, so a
+// bug in checksum updating or TTL decrement is caught by tests the same
+// way it would be on a wire.
+package pkt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"net/netip"
+)
+
+// Header and size constants. MinSize is the classic 64-byte minimum
+// Ethernet frame that the paper uses as its worst-case workload.
+const (
+	EtherHdrLen = 14
+	IPv4HdrLen  = 20
+	UDPHdrLen   = 8
+	TCPHdrLen   = 20
+
+	MinSize = 64
+	MaxSize = 1518 // 1500 MTU + Ethernet header + nothing fancy
+)
+
+// EtherType values understood by the classifier elements.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeARP  = 0x0806
+	EtherTypeVLB  = 0x88B5 // local experimental EtherType: VLB phase tag
+)
+
+// IP protocol numbers used by the workloads.
+const (
+	ProtoICMP = 1
+	ProtoTCP  = 6
+	ProtoUDP  = 17
+	ProtoESP  = 50
+)
+
+// MAC is a 6-byte Ethernet address. RB4 encodes the VLB output node in the
+// destination MAC (§6.1 of the paper), so MACs are first-class here.
+type MAC [6]byte
+
+// String renders the conventional colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// NodeMAC returns the locally administered MAC that RB4 assigns to a
+// cluster node's internal ports; the low byte carries the node ID so that
+// receive-queue steering can recover the output node without touching the
+// IP header (paper §6.1, "minimizing packet processing").
+func NodeMAC(node int) MAC {
+	return MAC{0x02, 0x52, 0x42, 0x00, byte(node >> 8), byte(node)}
+}
+
+// Node recovers the node ID encoded by NodeMAC.
+func (m MAC) Node() int { return int(m[4])<<8 | int(m[5]) }
+
+// IsNodeMAC reports whether m carries the RB4 node encoding.
+func (m MAC) IsNodeMAC() bool { return m[0] == 0x02 && m[1] == 0x52 && m[2] == 0x42 }
+
+// Packet is a network packet plus the router-internal metadata that rides
+// along with it (receive timestamps, queue assignment, VLB phase).
+// The Data slice holds the full frame starting at the Ethernet header.
+type Packet struct {
+	Data []byte
+
+	// Metadata. None of this is on the wire.
+	Arrival   int64 // virtual ns when the packet entered the cluster
+	InputPort int   // external port the packet arrived on
+	SeqNo     uint64
+	FlowID    uint64 // cached flow hash; 0 means not yet computed
+	VLBPhase  int    // 0 = fresh, 1 = load-balanced once, 2 = at output node
+	Paint     byte   // generic element annotation (Click's Paint)
+	NextHop   int    // route-lookup result annotation (Click's dst anno)
+}
+
+// New builds a packet of exactly size bytes with an Ethernet+IPv4+UDP
+// skeleton. Payload bytes are zero. It panics if size is too small to hold
+// the headers; the minimum legal size here is EtherHdrLen+IPv4HdrLen+UDPHdrLen.
+func New(size int, src, dst netip.Addr, srcPort, dstPort uint16) *Packet {
+	if size < EtherHdrLen+IPv4HdrLen+UDPHdrLen {
+		panic(fmt.Sprintf("pkt: size %d below minimum %d", size, EtherHdrLen+IPv4HdrLen+UDPHdrLen))
+	}
+	p := &Packet{Data: make([]byte, size)}
+	eh := p.Ether()
+	eh.SetEtherType(EtherTypeIPv4)
+	ih := p.IPv4()
+	ih.SetVersionIHL()
+	ih.SetTotalLength(uint16(size - EtherHdrLen))
+	ih.SetTTL(64)
+	ih.SetProtocol(ProtoUDP)
+	ih.SetSrc(src)
+	ih.SetDst(dst)
+	ih.UpdateChecksum()
+	uh := p.UDP()
+	uh.SetSrcPort(srcPort)
+	uh.SetDstPort(dstPort)
+	uh.SetLength(uint16(size - EtherHdrLen - IPv4HdrLen))
+	return p
+}
+
+// Len reports the frame length in bytes.
+func (p *Packet) Len() int { return len(p.Data) }
+
+// Clone deep-copies the packet, including metadata. VLB phase-1 never
+// duplicates packets, but test harnesses do.
+func (p *Packet) Clone() *Packet {
+	q := *p
+	q.Data = make([]byte, len(p.Data))
+	copy(q.Data, p.Data)
+	return &q
+}
+
+// Ether returns a view over the Ethernet header.
+func (p *Packet) Ether() EtherHdr { return EtherHdr(p.Data) }
+
+// IPv4 returns a view over the IPv4 header. It assumes EtherType IPv4 and
+// no VLANs; CheckIPHeader validates before anything downstream touches it.
+func (p *Packet) IPv4() IPv4Hdr { return IPv4Hdr(p.Data[EtherHdrLen:]) }
+
+// UDP returns a view over the UDP header of an IPv4/UDP packet.
+func (p *Packet) UDP() UDPHdr { return UDPHdr(p.Data[EtherHdrLen+IPv4HdrLen:]) }
+
+// L4Payload returns the bytes after the UDP header.
+func (p *Packet) L4Payload() []byte { return p.Data[EtherHdrLen+IPv4HdrLen+UDPHdrLen:] }
+
+// EtherHdr is a zero-copy view over an Ethernet header.
+type EtherHdr []byte
+
+// Dst returns the destination MAC.
+func (h EtherHdr) Dst() MAC { var m MAC; copy(m[:], h[0:6]); return m }
+
+// Src returns the source MAC.
+func (h EtherHdr) Src() MAC { var m MAC; copy(m[:], h[6:12]); return m }
+
+// EtherType returns the 16-bit EtherType.
+func (h EtherHdr) EtherType() uint16 { return binary.BigEndian.Uint16(h[12:14]) }
+
+// SetDst writes the destination MAC.
+func (h EtherHdr) SetDst(m MAC) { copy(h[0:6], m[:]) }
+
+// SetSrc writes the source MAC.
+func (h EtherHdr) SetSrc(m MAC) { copy(h[6:12], m[:]) }
+
+// SetEtherType writes the EtherType.
+func (h EtherHdr) SetEtherType(t uint16) { binary.BigEndian.PutUint16(h[12:14], t) }
+
+// IPv4Hdr is a zero-copy view over an IPv4 header (no options supported;
+// IHL is always 5, as in the paper's workloads).
+type IPv4Hdr []byte
+
+// SetVersionIHL stamps version 4, IHL 5.
+func (h IPv4Hdr) SetVersionIHL() { h[0] = 0x45 }
+
+// Version returns the IP version nibble.
+func (h IPv4Hdr) Version() int { return int(h[0] >> 4) }
+
+// IHL returns the header length in 32-bit words.
+func (h IPv4Hdr) IHL() int { return int(h[0] & 0x0F) }
+
+// TotalLength returns the IPv4 total length field.
+func (h IPv4Hdr) TotalLength() uint16 { return binary.BigEndian.Uint16(h[2:4]) }
+
+// SetTotalLength sets the IPv4 total length field.
+func (h IPv4Hdr) SetTotalLength(v uint16) { binary.BigEndian.PutUint16(h[2:4], v) }
+
+// ID returns the identification field.
+func (h IPv4Hdr) ID() uint16 { return binary.BigEndian.Uint16(h[4:6]) }
+
+// SetID sets the identification field.
+func (h IPv4Hdr) SetID(v uint16) { binary.BigEndian.PutUint16(h[4:6], v) }
+
+// TTL returns the time-to-live.
+func (h IPv4Hdr) TTL() uint8 { return h[8] }
+
+// SetTTL sets the time-to-live.
+func (h IPv4Hdr) SetTTL(v uint8) { h[8] = v }
+
+// Protocol returns the IP protocol number.
+func (h IPv4Hdr) Protocol() uint8 { return h[9] }
+
+// SetProtocol sets the IP protocol number.
+func (h IPv4Hdr) SetProtocol(v uint8) { h[9] = v }
+
+// Checksum returns the header checksum field.
+func (h IPv4Hdr) Checksum() uint16 { return binary.BigEndian.Uint16(h[10:12]) }
+
+// SetChecksum sets the header checksum field.
+func (h IPv4Hdr) SetChecksum(v uint16) { binary.BigEndian.PutUint16(h[10:12], v) }
+
+// Src returns the source address.
+func (h IPv4Hdr) Src() netip.Addr {
+	var a [4]byte
+	copy(a[:], h[12:16])
+	return netip.AddrFrom4(a)
+}
+
+// Dst returns the destination address.
+func (h IPv4Hdr) Dst() netip.Addr {
+	var a [4]byte
+	copy(a[:], h[16:20])
+	return netip.AddrFrom4(a)
+}
+
+// SetSrc writes the source address; non-IPv4 addresses panic.
+func (h IPv4Hdr) SetSrc(a netip.Addr) { b := a.As4(); copy(h[12:16], b[:]) }
+
+// SetDst writes the destination address; non-IPv4 addresses panic.
+func (h IPv4Hdr) SetDst(a netip.Addr) { b := a.As4(); copy(h[16:20], b[:]) }
+
+// DstUint32 returns the destination address as a big-endian uint32, the
+// form the LPM lookup consumes.
+func (h IPv4Hdr) DstUint32() uint32 { return binary.BigEndian.Uint32(h[16:20]) }
+
+// SrcUint32 returns the source address as a big-endian uint32.
+func (h IPv4Hdr) SrcUint32() uint32 { return binary.BigEndian.Uint32(h[12:16]) }
+
+// UpdateChecksum recomputes and stores the header checksum.
+func (h IPv4Hdr) UpdateChecksum() {
+	h.SetChecksum(0)
+	h.SetChecksum(Checksum(h[:IPv4HdrLen]))
+}
+
+// VerifyChecksum reports whether the stored checksum is consistent.
+func (h IPv4Hdr) VerifyChecksum() bool {
+	return Checksum(h[:IPv4HdrLen]) == 0
+}
+
+// DecTTL decrements the TTL and incrementally updates the checksum per
+// RFC 1141. It reports false if the TTL was already 0 or 1 (packet must
+// be dropped, not forwarded).
+func (h IPv4Hdr) DecTTL() bool {
+	ttl := h.TTL()
+	if ttl <= 1 {
+		return false
+	}
+	h.SetTTL(ttl - 1)
+	// RFC 1141 incremental update: TTL lives in the high byte of word 4.
+	sum := uint32(h.Checksum()) + 0x0100
+	sum = (sum & 0xFFFF) + (sum >> 16)
+	h.SetChecksum(uint16(sum))
+	return true
+}
+
+// UDPHdr is a zero-copy view over a UDP header.
+type UDPHdr []byte
+
+// SrcPort returns the source port.
+func (h UDPHdr) SrcPort() uint16 { return binary.BigEndian.Uint16(h[0:2]) }
+
+// DstPort returns the destination port.
+func (h UDPHdr) DstPort() uint16 { return binary.BigEndian.Uint16(h[2:4]) }
+
+// Length returns the UDP length field.
+func (h UDPHdr) Length() uint16 { return binary.BigEndian.Uint16(h[4:6]) }
+
+// SetSrcPort sets the source port.
+func (h UDPHdr) SetSrcPort(v uint16) { binary.BigEndian.PutUint16(h[0:2], v) }
+
+// SetDstPort sets the destination port.
+func (h UDPHdr) SetDstPort(v uint16) { binary.BigEndian.PutUint16(h[2:4], v) }
+
+// SetLength sets the UDP length field.
+func (h UDPHdr) SetLength(v uint16) { binary.BigEndian.PutUint16(h[4:6], v) }
+
+// Checksum computes the internet checksum (RFC 1071) over b.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for len(b) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[:2]))
+		b = b[2:]
+	}
+	if len(b) == 1 {
+		sum += uint32(b[0]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,250 @@
+package pkt
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestNewPacketSkeleton(t *testing.T) {
+	p := New(64, addr("10.1.2.3"), addr("192.168.9.1"), 1234, 80)
+	if p.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", p.Len())
+	}
+	if p.Ether().EtherType() != EtherTypeIPv4 {
+		t.Errorf("EtherType = %#x, want %#x", p.Ether().EtherType(), EtherTypeIPv4)
+	}
+	ih := p.IPv4()
+	if ih.Version() != 4 || ih.IHL() != 5 {
+		t.Errorf("version/IHL = %d/%d, want 4/5", ih.Version(), ih.IHL())
+	}
+	if ih.TotalLength() != 50 {
+		t.Errorf("TotalLength = %d, want 50", ih.TotalLength())
+	}
+	if got := ih.Src(); got != addr("10.1.2.3") {
+		t.Errorf("Src = %v", got)
+	}
+	if got := ih.Dst(); got != addr("192.168.9.1") {
+		t.Errorf("Dst = %v", got)
+	}
+	if !ih.VerifyChecksum() {
+		t.Error("fresh packet fails checksum verification")
+	}
+	uh := p.UDP()
+	if uh.SrcPort() != 1234 || uh.DstPort() != 80 {
+		t.Errorf("ports = %d/%d", uh.SrcPort(), uh.DstPort())
+	}
+	if uh.Length() != 30 {
+		t.Errorf("UDP length = %d, want 30", uh.Length())
+	}
+}
+
+func TestNewPacketTooSmallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("undersized New did not panic")
+		}
+	}()
+	New(20, addr("1.2.3.4"), addr("5.6.7.8"), 1, 2)
+}
+
+func TestChecksumRFC1071Vector(t *testing.T) {
+	// Classic example from RFC 1071 §3: words 0001 f203 f4f5 f6f7.
+	b := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(b); got != ^uint16(0xddf2) {
+		t.Fatalf("Checksum = %#x, want %#x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	b := []byte{0xFF, 0xFF, 0x01}
+	// Sum = ffff + 0100 -> 1_00ff -> 0100; ^0100 = feff
+	if got := Checksum(b); got != 0xfeff {
+		t.Fatalf("odd-length Checksum = %#x, want 0xfeff", got)
+	}
+}
+
+func TestDecTTLIncrementalChecksum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		p := New(64+rng.Intn(1000),
+			netip.AddrFrom4([4]byte{byte(rng.Int()), byte(rng.Int()), byte(rng.Int()), byte(rng.Int())}),
+			netip.AddrFrom4([4]byte{byte(rng.Int()), byte(rng.Int()), byte(rng.Int()), byte(rng.Int())}),
+			uint16(rng.Int()), uint16(rng.Int()))
+		ih := p.IPv4()
+		ttl := uint8(2 + rng.Intn(250))
+		ih.SetTTL(ttl)
+		ih.UpdateChecksum()
+		if !ih.DecTTL() {
+			t.Fatalf("DecTTL failed for TTL %d", ttl)
+		}
+		if ih.TTL() != ttl-1 {
+			t.Fatalf("TTL = %d, want %d", ih.TTL(), ttl-1)
+		}
+		if !ih.VerifyChecksum() {
+			t.Fatalf("incremental checksum diverged at iteration %d (ttl %d)", i, ttl)
+		}
+	}
+}
+
+func TestDecTTLExpiry(t *testing.T) {
+	p := New(64, addr("1.1.1.1"), addr("2.2.2.2"), 1, 2)
+	for _, ttl := range []uint8{0, 1} {
+		p.IPv4().SetTTL(ttl)
+		if p.IPv4().DecTTL() {
+			t.Errorf("DecTTL with TTL=%d returned true", ttl)
+		}
+	}
+}
+
+func TestNodeMACRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 255, 256, 4095, 65535} {
+		m := NodeMAC(n)
+		if !m.IsNodeMAC() {
+			t.Errorf("NodeMAC(%d) not recognized", n)
+		}
+		if m.Node() != n {
+			t.Errorf("NodeMAC(%d).Node() = %d", n, m.Node())
+		}
+	}
+	var plain MAC
+	if plain.IsNodeMAC() {
+		t.Error("zero MAC recognized as node MAC")
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if m.String() != "de:ad:be:ef:00:01" {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestFlowExtraction(t *testing.T) {
+	p := New(64, addr("10.0.0.1"), addr("10.0.0.2"), 5000, 443)
+	k := p.Flow()
+	if k.SrcPort != 5000 || k.DstPort != 443 || k.Proto != ProtoUDP {
+		t.Fatalf("flow = %+v", k)
+	}
+	if k.Src != binary.BigEndian.Uint32([]byte{10, 0, 0, 1}) {
+		t.Fatalf("src = %#x", k.Src)
+	}
+}
+
+func TestFlowHashStableAndCached(t *testing.T) {
+	p := New(64, addr("10.0.0.1"), addr("10.0.0.2"), 5000, 443)
+	h1 := p.FlowHash()
+	h2 := p.FlowHash()
+	if h1 != h2 || h1 == 0 {
+		t.Fatalf("hash unstable or zero: %x %x", h1, h2)
+	}
+	q := New(128, addr("10.0.0.1"), addr("10.0.0.2"), 5000, 443)
+	if q.FlowHash() != h1 {
+		t.Fatal("same 5-tuple, different hash")
+	}
+	r := New(64, addr("10.0.0.1"), addr("10.0.0.2"), 5001, 443)
+	if r.FlowHash() == h1 {
+		t.Fatal("different 5-tuple, same hash (suspicious for FNV)")
+	}
+}
+
+func TestFlowHashDirectionality(t *testing.T) {
+	a := FlowKey{Src: 1, Dst: 2, SrcPort: 10, DstPort: 20, Proto: ProtoTCP}
+	b := FlowKey{Src: 2, Dst: 1, SrcPort: 20, DstPort: 10, Proto: ProtoTCP}
+	if a.Hash() == b.Hash() {
+		t.Fatal("reverse direction hashed identically")
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := New(64, addr("1.1.1.1"), addr("2.2.2.2"), 1, 2)
+	p.SeqNo = 42
+	q := p.Clone()
+	q.Data[20] ^= 0xFF
+	if p.Data[20] == q.Data[20] {
+		t.Fatal("Clone shares data")
+	}
+	if q.SeqNo != 42 {
+		t.Fatal("Clone dropped metadata")
+	}
+}
+
+// Property: checksum of a header with its checksum field in place verifies
+// as zero (RFC 1071 receiver rule), for random addresses and lengths.
+func TestPropertyChecksumVerifies(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, extra uint8) bool {
+		size := 64 + int(extra)
+		var s4, d4 [4]byte
+		binary.BigEndian.PutUint32(s4[:], src)
+		binary.BigEndian.PutUint32(d4[:], dst)
+		p := New(size, netip.AddrFrom4(s4), netip.AddrFrom4(d4), sp, dp)
+		return p.IPv4().VerifyChecksum()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: for random payload mutations, recomputing the checksum always
+// re-validates, and flipping any header byte afterwards invalidates it.
+func TestPropertyChecksumDetectsCorruption(t *testing.T) {
+	f := func(seed int64, flip uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := New(64, addr("10.0.0.1"), addr("10.0.0.2"), 1, 2)
+		ih := p.IPv4()
+		ih.SetTTL(uint8(rng.Intn(256)))
+		ih.SetID(uint16(rng.Intn(65536)))
+		ih.UpdateChecksum()
+		if !ih.VerifyChecksum() {
+			return false
+		}
+		// Flip one bit somewhere in the 20-byte header, but not in the
+		// checksum field itself (bytes 10-11), which RFC 1071 cannot
+		// always distinguish... actually any single-bit flip is caught;
+		// flipping checksum bytes is also caught. Allow all 20.
+		idx := int(flip) % IPv4HdrLen
+		bit := byte(1 << (flip % 8))
+		ih[idx] ^= bit
+		ok := !ih.VerifyChecksum()
+		// 0x0000 vs 0xFFFF ambiguity: flipping all bits of a zero word is
+		// the only undetectable single-bit case, and a single-bit flip
+		// cannot produce it. So corruption must always be detected.
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkChecksum64(b *testing.B) {
+	p := New(64, addr("10.0.0.1"), addr("10.0.0.2"), 1, 2)
+	h := p.IPv4()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.UpdateChecksum()
+	}
+}
+
+func BenchmarkFlowHash(b *testing.B) {
+	p := New(64, addr("10.0.0.1"), addr("10.0.0.2"), 1, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.FlowID = 0
+		_ = p.FlowHash()
+	}
+}
+
+func BenchmarkDecTTL(b *testing.B) {
+	p := New(64, addr("10.0.0.1"), addr("10.0.0.2"), 1, 2)
+	h := p.IPv4()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.SetTTL(64)
+		h.UpdateChecksum()
+		h.DecTTL()
+	}
+}

@@ -1,0 +1,190 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate under every timed experiment in this
+// repository: NIC DMA transfers, batching timeouts, per-hop link latencies
+// and core processing delays are all scheduled as events on a virtual
+// clock. Determinism matters — two runs with the same seed must produce
+// identical packet orderings so that reordering measurements (§6.2 of the
+// RouteBricks paper) are reproducible. Ties in event time are broken by a
+// monotonically increasing sequence number.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point in virtual time, counted in nanoseconds from the start
+// of the simulation. It deliberately mirrors time.Duration's resolution so
+// conversions are trivial, but it is a distinct type: virtual time never
+// flows from the wall clock.
+type Time int64
+
+// Common virtual-time unit constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time; it is used as the
+// horizon for unbounded runs.
+const MaxTime = Time(math.MaxInt64)
+
+// Duration converts a virtual time span into a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros reports t as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+func (t Time) String() string {
+	return time.Duration(t).String()
+}
+
+// Event is a scheduled callback. Events fire in timestamp order; events
+// with equal timestamps fire in scheduling order.
+type Event struct {
+	at     Time
+	seq    uint64
+	fn     func()
+	index  int // heap index; -1 when not queued
+	cancel bool
+}
+
+// At reports the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents a pending event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+// eventQueue is a binary min-heap ordered by (time, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the pending event set. The zero value
+// is not ready to use; call New.
+type Engine struct {
+	now    Time
+	seq    uint64
+	queue  eventQueue
+	fired  uint64
+	halted bool
+}
+
+// New returns an engine with the clock at zero and no pending events.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run at absolute virtual time at. Scheduling in the
+// past (before Now) panics: it would silently reorder causality, which in a
+// router simulation means corrupting reordering statistics.
+func (e *Engine) Schedule(at Time, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run d after the current virtual time.
+func (e *Engine) After(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Halt stops the run loop after the currently executing event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the single earliest pending event, advancing the clock to
+// its timestamp. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancel {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains, the horizon passes, or Halt
+// is called. Events scheduled exactly at the horizon still run. It returns
+// the number of events executed.
+func (e *Engine) Run(horizon Time) uint64 {
+	e.halted = false
+	start := e.fired
+	for !e.halted && len(e.queue) > 0 {
+		if e.queue[0].at > horizon {
+			break
+		}
+		e.Step()
+	}
+	return e.fired - start
+}
+
+// RunAll executes events until none remain or Halt is called.
+func (e *Engine) RunAll() uint64 { return e.Run(MaxTime) }
+
+// AdvanceTo moves the clock forward to at without executing anything.
+// It panics if events earlier than at are still pending, or if at is in
+// the past.
+func (e *Engine) AdvanceTo(at Time) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: advance to %v before now %v", at, e.now))
+	}
+	if len(e.queue) > 0 && e.queue[0].at < at {
+		panic(fmt.Sprintf("sim: advance to %v would skip event at %v", at, e.queue[0].at))
+	}
+	e.now = at
+}

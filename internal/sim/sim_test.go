@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleAndRunOrder(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(30, func() { order = append(order, 3) })
+	e.Schedule(10, func() { order = append(order, 1) })
+	e.Schedule(20, func() { order = append(order, 2) })
+	n := e.RunAll()
+	if n != 3 {
+		t.Fatalf("fired %d events, want 3", n)
+	}
+	for i, v := range order {
+		if v != i+1 {
+			t.Fatalf("order = %v, want [1 2 3]", order)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestFIFOAtEqualTimes(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.Schedule(5, func() { order = append(order, i) })
+	}
+	e.RunAll()
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("equal-time events did not fire in scheduling order: %v", order[:10])
+	}
+}
+
+func TestAfterUsesCurrentTime(t *testing.T) {
+	e := New()
+	var at Time
+	e.Schedule(100, func() {
+		e.After(50, func() { at = e.Now() })
+	})
+	e.RunAll()
+	if at != 150 {
+		t.Fatalf("nested After fired at %v, want 150", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	ev := e.Schedule(10, func() { fired = true })
+	ev.Cancel()
+	e.RunAll()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Fired() != 0 {
+		t.Fatalf("Fired = %d, want 0", e.Fired())
+	}
+}
+
+func TestRunHorizon(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		e.Schedule(at, func() { fired = append(fired, at) })
+	}
+	n := e.Run(10)
+	if n != 2 {
+		t.Fatalf("Run(10) fired %d, want 2", n)
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	// Horizon-inclusive: event at exactly 10 ran.
+	if len(fired) != 2 || fired[1] != 10 {
+		t.Fatalf("fired = %v", fired)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	e := New()
+	count := 0
+	for i := Time(1); i <= 10; i++ {
+		e.Schedule(i, func() {
+			count++
+			if count == 3 {
+				e.Halt()
+			}
+		})
+	}
+	e.RunAll()
+	if count != 3 {
+		t.Fatalf("halted run executed %d events, want 3", count)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(10, func() {})
+	e.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(5, func() {})
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestAdvanceTo(t *testing.T) {
+	e := New()
+	e.AdvanceTo(100)
+	if e.Now() != 100 {
+		t.Fatalf("Now = %v, want 100", e.Now())
+	}
+	e.Schedule(200, func() {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo past a pending event did not panic")
+		}
+	}()
+	e.AdvanceTo(300)
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty queue returned true")
+	}
+	ev := e.Schedule(1, func() {})
+	ev.Cancel()
+	if e.Step() {
+		t.Fatal("Step with only cancelled events returned true")
+	}
+}
+
+// Property: any batch of randomly timed events fires in nondecreasing time
+// order and the clock ends at the max scheduled time.
+func TestPropertyEventOrdering(t *testing.T) {
+	f := func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		e := New()
+		var fired []Time
+		var max Time
+		for _, d := range delays {
+			at := Time(d)
+			if at > max {
+				max = at
+			}
+			e.Schedule(at, func() { fired = append(fired, e.Now()) })
+		}
+		e.RunAll()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return e.Now() == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving Schedule calls from inside running events keeps
+// the causal order (an event never observes a clock earlier than its
+// scheduling time).
+func TestPropertyNestedScheduling(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	e := New()
+	violations := 0
+	var spawn func(depth int)
+	spawn = func(depth int) {
+		if depth > 3 {
+			return
+		}
+		base := e.Now()
+		d := Time(rng.Intn(1000))
+		e.After(d, func() {
+			if e.Now() < base+d {
+				violations++
+			}
+			spawn(depth + 1)
+		})
+	}
+	for i := 0; i < 50; i++ {
+		spawn(0)
+	}
+	e.RunAll()
+	if violations != 0 {
+		t.Fatalf("%d causality violations", violations)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	e := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(Time(i%1000), func() {})
+		if e.Pending() > 1024 {
+			e.Run(e.Now() + 500)
+		}
+	}
+	e.RunAll()
+}

@@ -1,0 +1,229 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Fig 3 anchors: mesh feasibility bounds per configuration. The paper:
+// current servers mesh to N=32, more-NICs to N=128.
+func TestMeshBounds(t *testing.T) {
+	cases := []struct {
+		cfg      ServerConfig
+		lastMesh int // largest power-of-two N that still meshes
+	}{
+		{Current(), 32},
+		{MoreNICs(), 128},
+		{Faster(), 256}, // our derived bound; see package comment re: the paper's 2048
+	}
+	for _, c := range cases {
+		if _, ok := MeshFeasible(c.cfg, c.lastMesh, 10); !ok {
+			t.Errorf("%s: mesh at N=%d should be feasible", c.cfg.Name, c.lastMesh)
+		}
+		if _, ok := MeshFeasible(c.cfg, c.lastMesh*2, 10); ok {
+			t.Errorf("%s: mesh at N=%d should NOT be feasible", c.cfg.Name, c.lastMesh*2)
+		}
+	}
+}
+
+// Mesh cost equals port-server count, with no intermediates.
+func TestMeshDesignShape(t *testing.T) {
+	d, err := Plan(Current(), 32, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Topology != "mesh" || d.Servers != 32 || d.Intermediates != 0 {
+		t.Fatalf("design = %+v", d)
+	}
+	// 2R/N = 0.625 Gbps < 1G: single 1G ports suffice.
+	if d.Bundle != 1 {
+		t.Fatalf("bundle = %d", d.Bundle)
+	}
+}
+
+// Small meshes need bundled or 10G links: N=16, current servers →
+// 1.25 Gbps/link → 2×1G bundles × 15 neighbors = 30 ≤ 32 ports.
+func TestMeshBundling(t *testing.T) {
+	d, ok := MeshFeasible(Current(), 16, 10)
+	if !ok {
+		t.Fatal("N=16 mesh should be feasible via bundling")
+	}
+	if d.Bundle != 2 {
+		t.Fatalf("bundle = %d, want 2", d.Bundle)
+	}
+	if d.LinkGbps != 1.25 {
+		t.Fatalf("link rate = %g", d.LinkGbps)
+	}
+}
+
+// Faster servers halve the server count: 2 ports each.
+func TestFasterHalvesServers(t *testing.T) {
+	d, err := Plan(Faster(), 128, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Servers != 64 || d.Topology != "mesh" {
+		t.Fatalf("design = %+v", d)
+	}
+}
+
+// The paper's quoted anchor: with current servers, N=1024 needs 2
+// intermediate servers per port (3 stages × ⌈2N/3⌉ = 2049).
+func TestNFlyPaperAnchor(t *testing.T) {
+	d, err := Plan(Current(), 1024, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Topology != "n-fly" {
+		t.Fatalf("topology = %s", d.Topology)
+	}
+	if d.Stages != 3 {
+		t.Fatalf("stages = %d, want 3 (k=16, log16(1024)=2.5)", d.Stages)
+	}
+	perPort := float64(d.Intermediates) / 1024
+	if perPort < 1.9 || perPort > 2.1 {
+		t.Fatalf("intermediates per port = %.2f, want ≈2", perPort)
+	}
+	if d.Servers != 1024+d.Intermediates {
+		t.Fatalf("total = %d", d.Servers)
+	}
+}
+
+// More NICs (k=76) need fewer stages.
+func TestNFlyFewerStagesWithMoreNICs(t *testing.T) {
+	d, err := Plan(MoreNICs(), 1024, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Stages != 2 {
+		t.Fatalf("stages = %d, want 2 (k=76)", d.Stages)
+	}
+	dCur, _ := Plan(Current(), 1024, 10)
+	if d.Servers >= dCur.Servers {
+		t.Fatalf("more NICs (%d) should beat current (%d)", d.Servers, dCur.Servers)
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	if _, err := Plan(Current(), 1, 10); err == nil {
+		t.Error("N=1 accepted")
+	}
+	tiny := ServerConfig{Name: "tiny", Ports: 1, Slots: 1}
+	if _, err := Plan(tiny, 4096, 10); err == nil {
+		t.Error("zero-fanout n-fly accepted")
+	}
+}
+
+func TestClosSwitchCounts(t *testing.T) {
+	if got := ClosSwitches(48); got != 1 {
+		t.Fatalf("ClosSwitches(48) = %d", got)
+	}
+	// 3-stage region: r = ceil(N/16) edges + 31 middles.
+	if got := ClosSwitches(256); got != 16+31 {
+		t.Fatalf("ClosSwitches(256) = %d, want 47", got)
+	}
+	if got := ClosSwitches(768); got != 48+31 {
+		t.Fatalf("ClosSwitches(768) = %d, want 79", got)
+	}
+	// Beyond 768 the middle recurses.
+	if got := ClosSwitches(1024); got <= 64+31 {
+		t.Fatalf("ClosSwitches(1024) = %d, want recursion > 95", got)
+	}
+}
+
+// Fig 3's comparison claim: the server-based cluster is cheaper than the
+// Arista-based switched cluster at every plotted port count.
+func TestServerClusterBeatsSwitched(t *testing.T) {
+	for _, n := range []int{4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048} {
+		var best float64 = 1 << 30
+		for _, cfg := range []ServerConfig{Current(), MoreNICs(), Faster()} {
+			if d, err := Plan(cfg, n, 10); err == nil && float64(d.Servers) < best {
+				best = float64(d.Servers)
+			}
+		}
+		_, sw := SwitchedCost(n)
+		if best >= sw {
+			t.Errorf("N=%d: best server cluster %v ≥ switched %.0f", n, best, sw)
+		}
+	}
+}
+
+// At small N the mesh uses exactly N servers while the switched design
+// pays for the switch: the paper's "avoids the cost of the switch
+// altogether while using the same number of servers".
+func TestSmallNComparison(t *testing.T) {
+	d, _ := Plan(Current(), 4, 10)
+	if d.Servers != 4 {
+		t.Fatalf("mesh servers = %d", d.Servers)
+	}
+	_, sw := SwitchedCost(4)
+	if sw != 16 {
+		t.Fatalf("switched equivalent = %g, want 16 (4 servers + 12 for the switch)", sw)
+	}
+}
+
+// The mesh boundary is genuinely non-monotone in N: at N=19 the current
+// server's links need 2×1G bundles (2R/N > 1G), blowing the port budget
+// and forcing an n-fly of 45 servers, while N=20 fits a plain 20-server
+// mesh with single links. More ports can need fewer servers because the
+// per-link rate requirement 2s²R/N falls with N.
+func TestPlanNonMonotoneAtBundleBoundary(t *testing.T) {
+	d19, err := Plan(Current(), 19, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d20, err := Plan(Current(), 20, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d19.Topology != "n-fly" || d20.Topology != "mesh" {
+		t.Fatalf("topologies = %s/%s, want n-fly/mesh", d19.Topology, d20.Topology)
+	}
+	if d19.Servers <= d20.Servers {
+		t.Fatalf("expected the documented dip: Plan(19)=%d, Plan(20)=%d",
+			d19.Servers, d20.Servers)
+	}
+}
+
+// Property: Plan is monotone in N once links no longer need bundling
+// (N ≥ 2s²R, i.e. 2s²R/N ≤ 1G), and total servers ≥ port servers ≥ N/s
+// everywhere.
+func TestPropertyPlanMonotone(t *testing.T) {
+	f := func(nRaw uint16, cfgIdx uint8) bool {
+		cfgs := []ServerConfig{Current(), MoreNICs(), Faster()}
+		cfg := cfgs[int(cfgIdx)%3]
+		n := 2*cfg.Ports*cfg.Ports*10 + int(nRaw)%2028
+		d1, err1 := Plan(cfg, n, 10)
+		d2, err2 := Plan(cfg, n+cfg.Ports, 10)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if d1.PortServers < ceilDiv(n, cfg.Ports) {
+			return false
+		}
+		if d1.Servers < d1.PortServers {
+			return false
+		}
+		return d2.Servers >= d1.Servers
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mesh links never exceed port budgets.
+func TestPropertyMeshRespectsFanout(t *testing.T) {
+	f := func(nRaw uint16, slots uint8, ports uint8) bool {
+		cfg := ServerConfig{Name: "x", Ports: 1 + int(ports)%2, Slots: 2 + int(slots)%30}
+		n := 2 + int(nRaw)%4096
+		d, ok := MeshFeasible(cfg, n, 10)
+		if !ok {
+			return true
+		}
+		used := (d.PortServers - 1) * d.Bundle
+		return used <= cfg.Fanout1G() || used <= cfg.Fanout10G()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package topo
+
+import "math"
+
+// The paper (§3.3) says the authors "experimented with both [the
+// butterfly and torus families] and chose the k-ary n-fly, because it
+// yields smaller clusters for the practical range of parameters". This
+// file models the rejected alternative so the ablation can reproduce the
+// design decision.
+//
+// A k-ary n-cube (torus) is a direct topology: the N/s port servers
+// themselves form the interconnect, with 2n links each (one per
+// direction per dimension). Under VLB the average route crosses ≈ n·k/4
+// hops per phase; with two phases and 2nN' directed links, the per-link
+// rate works out to ≈ s·R·k/4. Two costs follow:
+//
+//   - Fanout: 2n links, each bundling ⌈sRk/4⌉ 1G ports (or 10G ports).
+//   - Processing: every transit hop is packet work a port server must
+//     absorb on top of its own 3sR; with ≈ nk/2 average hops the
+//     per-server processing multiplies far beyond the n-fly's flat 3R
+//     intermediates.
+//
+// TorusDesign reports both so the comparison is explicit.
+type TorusDesign struct {
+	Dims       int     // n
+	Radix      int     // k
+	Servers    int     // N/s — no extra servers, that is the attraction
+	LinkGbps   float64 // required per-link rate
+	Bundle     int     // 1G ports per link
+	PortsUsed  int
+	ProcFactor float64 // per-server processing vs the 3sR budget (≥1 means overload)
+}
+
+// TorusFeasible searches dimensions 2..6 for a k-ary n-cube that fits
+// the server's port budget, returning the best (fewest ports used) and
+// whether any fits. Feasibility here is fanout-only; ProcFactor exposes
+// the processing overload separately.
+func TorusFeasible(cfg ServerConfig, n int, rGbps float64) (TorusDesign, bool) {
+	ns := ceilDiv(n, cfg.Ports)
+	best := TorusDesign{}
+	found := false
+	for dims := 2; dims <= 6; dims++ {
+		k := int(math.Ceil(math.Pow(float64(ns), 1/float64(dims))))
+		if k < 2 {
+			k = 2
+		}
+		link := float64(cfg.Ports) * rGbps * float64(k) / 4
+		for _, opt := range []struct {
+			rate   float64
+			budget int
+		}{
+			{1, cfg.Fanout1G()},
+			{10, cfg.Fanout10G()},
+		} {
+			bundle := int(math.Ceil(link / opt.rate))
+			ports := 2 * dims * bundle
+			if ports > opt.budget {
+				continue
+			}
+			// Average hops ≈ dims·k/2 over both VLB phases; each hop is
+			// minimal-forwarding work. The 3sR budget covers ingress,
+			// egress and one forwarding pass; extra hops scale it.
+			hops := float64(dims) * float64(k) / 2
+			proc := (2 + hops) / 3
+			d := TorusDesign{
+				Dims: dims, Radix: k, Servers: ns,
+				LinkGbps: link, Bundle: bundle, PortsUsed: ports,
+				ProcFactor: proc,
+			}
+			if !found || ports < best.PortsUsed {
+				best = d
+				found = true
+			}
+		}
+	}
+	return best, found
+}

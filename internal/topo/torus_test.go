@@ -1,0 +1,47 @@
+package topo
+
+import "testing"
+
+func TestTorusSmallScaleFits(t *testing.T) {
+	d, ok := TorusFeasible(Current(), 64, 10)
+	if !ok {
+		t.Fatal("64-port torus should fit the port budget")
+	}
+	if d.Servers != 64 {
+		t.Fatalf("servers = %d, want 64 (direct topology)", d.Servers)
+	}
+	if d.ProcFactor <= 1 {
+		t.Fatalf("ProcFactor = %.2f, want >1 (transit hops exceed the 3R budget)", d.ProcFactor)
+	}
+	if d.PortsUsed > Current().Fanout1G() && d.PortsUsed > Current().Fanout10G() {
+		t.Fatalf("reported feasible but uses %d ports", d.PortsUsed)
+	}
+}
+
+func TestTorusLargeScaleInfeasible(t *testing.T) {
+	if _, ok := TorusFeasible(Current(), 1024, 10); ok {
+		t.Fatal("1024-port torus should exceed the current-server port budget")
+	}
+}
+
+// The §3.3 decision: wherever both exist, the torus costs more in
+// processing than the n-fly's flat 3R intermediates would.
+func TestTorusAlwaysOverloadsProcessing(t *testing.T) {
+	for n := 16; n <= 4096; n *= 2 {
+		d, ok := TorusFeasible(Current(), n, 10)
+		if !ok {
+			continue
+		}
+		if d.ProcFactor < 1.5 {
+			t.Errorf("N=%d: torus ProcFactor %.2f unexpectedly low", n, d.ProcFactor)
+		}
+	}
+}
+
+func TestTorusMoreNICsExtendsRange(t *testing.T) {
+	_, okCur := TorusFeasible(Current(), 512, 10)
+	_, okMore := TorusFeasible(MoreNICs(), 512, 10)
+	if okCur && !okMore {
+		t.Fatal("more NIC slots should never shrink torus feasibility")
+	}
+}

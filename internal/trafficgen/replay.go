@@ -1,0 +1,65 @@
+package trafficgen
+
+import (
+	"fmt"
+	"io"
+
+	"routebricks/internal/pcap"
+	"routebricks/internal/pkt"
+)
+
+// Replay replays a pcap capture as a packet source — the trace-driven
+// workload mode of §5.1. Timestamps are preserved relative to the first
+// record so a driver can pace injections exactly as captured. Sequence
+// numbers are assigned in record order.
+type Replay struct {
+	recs []pcap.Record
+	idx  int
+	base int64
+}
+
+// NewReplay loads an entire capture.
+func NewReplay(r io.Reader) (*Replay, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	recs, err := pr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trafficgen: empty capture")
+	}
+	return &Replay{recs: recs, base: recs[0].TsNanos}, nil
+}
+
+// Len reports the number of packets in the capture.
+func (r *Replay) Len() int { return len(r.recs) }
+
+// Rewind restarts the replay.
+func (r *Replay) Rewind() { r.idx = 0 }
+
+// Next returns the next packet and its offset (ns) from the capture
+// start, or nil after the last record.
+func (r *Replay) Next() (*pkt.Packet, int64) {
+	if r.idx >= len(r.recs) {
+		return nil, 0
+	}
+	rec := r.recs[r.idx]
+	r.idx++
+	p := &pkt.Packet{
+		Data:  append([]byte(nil), rec.Data...),
+		SeqNo: uint64(r.idx),
+	}
+	return p, rec.TsNanos - r.base
+}
+
+// MeanSize reports the capture's mean frame size, for rate conversions.
+func (r *Replay) MeanSize() float64 {
+	total := 0
+	for _, rec := range r.recs {
+		total += len(rec.Data)
+	}
+	return float64(total) / float64(len(r.recs))
+}

@@ -1,0 +1,75 @@
+package trafficgen
+
+import (
+	"bytes"
+	"testing"
+
+	"routebricks/internal/pcap"
+)
+
+func TestReplayRoundTrip(t *testing.T) {
+	// Capture a synthetic stream, replay it, verify identity and timing.
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := New(Config{Seed: 3, Sizes: AbileneMix()})
+	var frames [][]byte
+	for i := 0; i < 200; i++ {
+		p := src.Next()
+		frames = append(frames, append([]byte(nil), p.Data...))
+		// 10 µs spacing, starting at an arbitrary epoch.
+		if err := w.WritePacket(1_000_000_000+int64(i)*10_000, p.Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rp, err := NewReplay(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Len() != 200 {
+		t.Fatalf("Len = %d", rp.Len())
+	}
+	for i := 0; i < 200; i++ {
+		p, off := rp.Next()
+		if p == nil {
+			t.Fatalf("early EOF at %d", i)
+		}
+		if !bytes.Equal(p.Data, frames[i]) {
+			t.Fatalf("frame %d differs", i)
+		}
+		if off != int64(i)*10_000 {
+			t.Fatalf("offset %d = %d, want %d", i, off, i*10_000)
+		}
+		if p.SeqNo != uint64(i+1) {
+			t.Fatalf("seq %d = %d", i, p.SeqNo)
+		}
+	}
+	if p, _ := rp.Next(); p != nil {
+		t.Fatal("read past the end")
+	}
+	rp.Rewind()
+	if p, off := rp.Next(); p == nil || off != 0 {
+		t.Fatal("rewind broken")
+	}
+
+	mean := rp.MeanSize()
+	if mean < 600 || mean > 900 {
+		t.Fatalf("mean size = %.1f, want Abilene-ish", mean)
+	}
+}
+
+func TestReplayRejectsEmptyAndGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := pcap.NewWriter(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReplay(&buf); err == nil {
+		t.Fatal("empty capture accepted")
+	}
+	if _, err := NewReplay(bytes.NewReader([]byte("junkjunkjunkjunkjunkjunkjunk"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

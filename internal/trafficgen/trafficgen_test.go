@@ -1,0 +1,153 @@
+package trafficgen
+
+import (
+	"math"
+	"testing"
+
+	"routebricks/internal/pkt"
+)
+
+func TestAbileneMeanMatchesCalibration(t *testing.T) {
+	// The hw model's Abilene anchors assume a 738.3 B mean (DESIGN.md §6).
+	if m := AbileneMix().Mean(); math.Abs(m-738.3) > 0.5 {
+		t.Fatalf("Abilene mean = %g, want ≈738.3", m)
+	}
+	sum := 0.0
+	for _, p := range AbileneMix().Probs {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %g", sum)
+	}
+}
+
+func TestEmpiricalSizeMix(t *testing.T) {
+	s := New(Config{Seed: 1, Sizes: AbileneMix()})
+	counts := map[int]int{}
+	const n = 200000
+	var bytes float64
+	for i := 0; i < n; i++ {
+		p := s.Next()
+		counts[p.Len()]++
+		bytes += float64(p.Len())
+	}
+	if got := bytes / n; math.Abs(got-738.3) > 5 {
+		t.Fatalf("empirical mean = %.1f, want ≈738.3", got)
+	}
+	if f := float64(counts[64]) / n; math.Abs(f-0.4468) > 0.01 {
+		t.Fatalf("64B fraction = %.4f", f)
+	}
+	if f := float64(counts[1500]) / n; math.Abs(f-0.4232) > 0.01 {
+		t.Fatalf("1500B fraction = %.4f", f)
+	}
+}
+
+func TestFixedSize(t *testing.T) {
+	s := New(Config{Seed: 2, Sizes: Fixed(64)})
+	for i := 0; i < 1000; i++ {
+		if got := s.Next().Len(); got != 64 {
+			t.Fatalf("size = %d", got)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := New(Config{Seed: 7, Sizes: AbileneMix()})
+	b := New(Config{Seed: 7, Sizes: AbileneMix()})
+	for i := 0; i < 2000; i++ {
+		pa, pb := a.Next(), b.Next()
+		if pa.Len() != pb.Len() || pa.FlowHash() != pb.FlowHash() {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestSeqMonotonePerFlow(t *testing.T) {
+	s := New(Config{Seed: 3, Sizes: Fixed(64), ActiveFlows: 16})
+	last := map[uint64]uint64{}
+	for i := 0; i < 50000; i++ {
+		p := s.Next()
+		h := p.FlowHash()
+		if p.SeqNo <= last[h] {
+			t.Fatalf("per-flow sequence regressed at packet %d", i)
+		}
+		last[h] = p.SeqNo
+	}
+}
+
+func TestBurstStructure(t *testing.T) {
+	s := New(Config{Seed: 4, Sizes: Fixed(64), ActiveFlows: 64, MeanBurst: 8})
+	var runs, switches int
+	var prev uint64
+	for i := 0; i < 50000; i++ {
+		h := s.Next().FlowHash()
+		if h == prev {
+			runs++
+		} else {
+			switches++
+			prev = h
+		}
+	}
+	// Mean burst 8 → roughly 7 same-flow continuations per switch.
+	ratio := float64(runs) / float64(switches)
+	if ratio < 4 || ratio > 12 {
+		t.Fatalf("burst ratio = %.1f, want ≈7", ratio)
+	}
+}
+
+func TestFlowTurnover(t *testing.T) {
+	s := New(Config{Seed: 5, Sizes: Fixed(64), ActiveFlows: 8, MeanFlowPackets: 16})
+	seen := map[uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		seen[s.Next().FlowHash()] = true
+	}
+	// With turnover, far more distinct flows than the pool size.
+	if len(seen) < 100 {
+		t.Fatalf("distinct flows = %d, want turnover ≫ pool", len(seen))
+	}
+}
+
+func TestRandomDstMode(t *testing.T) {
+	s := New(Config{Seed: 6, Sizes: Fixed(64), RandomDst: true})
+	dsts := map[uint32]bool{}
+	for i := 0; i < 10000; i++ {
+		dsts[s.Next().IPv4().DstUint32()] = true
+	}
+	if len(dsts) < 9900 {
+		t.Fatalf("random-dst mode produced only %d distinct destinations", len(dsts))
+	}
+}
+
+func TestBatch(t *testing.T) {
+	s := New(Config{Seed: 8, Sizes: Fixed(128)})
+	b := s.Batch(100)
+	if len(b) != 100 {
+		t.Fatalf("batch = %d", len(b))
+	}
+	for i, p := range b {
+		if p == nil || p.Len() != 128 {
+			t.Fatalf("bad packet at %d", i)
+		}
+	}
+}
+
+func TestGeneratedPacketsAreValid(t *testing.T) {
+	s := New(Config{Seed: 9, Sizes: AbileneMix()})
+	for i := 0; i < 5000; i++ {
+		p := s.Next()
+		if !p.IPv4().VerifyChecksum() {
+			t.Fatalf("invalid checksum at packet %d", i)
+		}
+		if p.Len() < pkt.MinSize {
+			t.Fatalf("undersized packet %d", p.Len())
+		}
+	}
+}
+
+func BenchmarkNextAbilene(b *testing.B) {
+	s := New(Config{Seed: 1, Sizes: AbileneMix()})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.Next()
+	}
+}

@@ -1,0 +1,100 @@
+// Package routebricks is a Go reproduction of "RouteBricks: Exploiting
+// Parallelism To Scale Software Routers" (Dobrescu et al., SOSP 2009).
+//
+// RouteBricks scales a software router by parallelizing across servers —
+// a cluster of commodity machines switching packets with Direct Valiant
+// Load Balancing over a full mesh — and within servers — multi-queue
+// NICs, one core per queue, one core per packet, and batched descriptor
+// processing.
+//
+// This package is the public facade over the implementation:
+//
+//   - Cluster / RB4: the parallel router (internal/cluster), simulated on
+//     virtual time over a calibrated model of the paper's Nehalem servers.
+//   - ServerSpec and the workload model (internal/hw): the bottleneck
+//     analysis of §5, with every constant derived from the paper.
+//   - Experiments: regenerators for every table and figure (internal/
+//     experiments); see EXPERIMENTS.md for paper-vs-measured values.
+//
+// Quick start:
+//
+//	c, err := routebricks.RB4()             // 4-node Direct VLB mesh
+//	if err != nil { ... }
+//	w := routebricks.Workload{
+//	    OfferedBpsPerNode: 2e9,
+//	    Sizes:             routebricks.AbileneMix(),
+//	    ExcludeSelf:       true,
+//	    Duration:          10 * routebricks.Millisecond,
+//	}
+//	w.Apply(c)
+//	c.Run(w.Duration + routebricks.Millisecond)
+//	c.Drain(20 * routebricks.Millisecond)
+//	fmt.Println(c.Meter)                    // reordering statistics
+//
+// See the examples directory for runnable programs and cmd/rbbench for
+// the full evaluation harness.
+package routebricks
+
+import (
+	"routebricks/internal/cluster"
+	"routebricks/internal/experiments"
+	"routebricks/internal/hw"
+	"routebricks/internal/sim"
+	"routebricks/internal/trafficgen"
+)
+
+// Cluster is a running RouteBricks cluster simulation.
+type Cluster = cluster.Cluster
+
+// ClusterConfig parameterizes a cluster.
+type ClusterConfig = cluster.Config
+
+// Workload drives paced traffic into a cluster.
+type Workload = cluster.Workload
+
+// ServerSpec describes a modeled server generation.
+type ServerSpec = hw.Spec
+
+// SizeDist is a packet-size distribution.
+type SizeDist = trafficgen.SizeDist
+
+// Time is a virtual-time instant/duration in nanoseconds.
+type Time = sim.Time
+
+// Virtual-time units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// NewCluster builds a cluster from an explicit configuration.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// RB4 builds the paper's prototype: 4 Nehalem nodes, full mesh, Direct
+// VLB with flowlet reordering avoidance, kp=32/kn=16 batching.
+func RB4() (*Cluster, error) { return cluster.New(cluster.RB4Config()) }
+
+// RB4Config returns the prototype configuration for customization.
+func RB4Config() ClusterConfig { return cluster.RB4Config() }
+
+// Nehalem returns the paper's evaluation server model.
+func Nehalem() ServerSpec { return hw.Nehalem() }
+
+// Xeon returns the shared-bus comparison server model.
+func Xeon() ServerSpec { return hw.Xeon() }
+
+// AbileneMix returns the synthetic Abilene-I packet-size mix.
+func AbileneMix() SizeDist { return trafficgen.AbileneMix() }
+
+// FixedSize returns a single-size packet distribution.
+func FixedSize(bytes int) SizeDist { return trafficgen.Fixed(bytes) }
+
+// Experiment regenerates one table or figure of the evaluation.
+type Experiment = experiments.Experiment
+
+// Experiments lists every table/figure regenerator in paper order.
+func Experiments() []Experiment { return experiments.All() }
+
+// ExperimentByID finds a single experiment ("table1", "fig8", ...).
+func ExperimentByID(id string) (Experiment, bool) { return experiments.ByID(id) }

@@ -1,0 +1,82 @@
+package routebricks
+
+import (
+	"testing"
+)
+
+// The facade assembles a working RB4 end to end.
+func TestFacadeRB4(t *testing.T) {
+	rb4, err := RB4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := Workload{
+		OfferedBpsPerNode: 1e9,
+		Sizes:             AbileneMix(),
+		ExcludeSelf:       true,
+		Duration:          5 * Millisecond,
+		Seed:              1,
+	}
+	n := w.Apply(rb4)
+	if n == 0 {
+		t.Fatal("workload injected nothing")
+	}
+	rb4.Run(w.Duration + Millisecond)
+	rb4.Drain(20 * Millisecond)
+	injected, delivered, _, _, _ := rb4.Totals()
+	if delivered != injected {
+		t.Fatalf("delivered %d of %d", delivered, injected)
+	}
+	if rb4.Latency.Mean() <= 0 {
+		t.Fatal("no latency measured")
+	}
+}
+
+func TestFacadeSpecsAndSizes(t *testing.T) {
+	if Nehalem().Cores() != 8 || Xeon().Cores() != 8 {
+		t.Fatal("server specs wrong")
+	}
+	if m := AbileneMix().Mean(); m < 700 || m > 800 {
+		t.Fatalf("Abilene mean = %g", m)
+	}
+	if s := FixedSize(64); s.Mean() != 64 {
+		t.Fatalf("FixedSize mean = %g", s.Mean())
+	}
+	cfg := RB4Config()
+	if cfg.Nodes != 4 || !cfg.Flowlets {
+		t.Fatalf("RB4Config = %+v", cfg)
+	}
+	if _, err := NewCluster(ClusterConfig{Nodes: 1}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+// Every registered experiment is reachable through the facade and runs
+// in quick mode.
+func TestFacadeExperiments(t *testing.T) {
+	all := Experiments()
+	if len(all) < 15 {
+		t.Fatalf("only %d experiments", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, id := range []string{"table1", "fig3", "fig8", "rb4", "reorder", "profile"} {
+		if _, ok := ExperimentByID(id); !ok {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+	if _, ok := ExperimentByID("nonexistent"); ok {
+		t.Error("phantom experiment")
+	}
+	// A cheap one, end to end through the facade.
+	e, _ := ExperimentByID("table1")
+	rep := e.Run(true)
+	if rep == nil || len(rep.Rows) != 3 {
+		t.Fatal("table1 malformed through facade")
+	}
+}
