@@ -1,0 +1,27 @@
+# Developer entry points. CI runs the same targets.
+
+GO      ?= go
+# benchstat wants repeated samples: `make bench COUNT=10 | benchstat -`.
+COUNT   ?= 6
+BENCH   ?= .
+
+.PHONY: all build test vet bench bench-smoke
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# benchstat-friendly output: fixed benchtime, repeated counts, no tests.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) .
+
+# Quick smoke for CI: every benchmark once, 100 iterations max.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkDispatch|BenchmarkServerModel' -benchmem -benchtime 100x .

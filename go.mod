@@ -1,0 +1,3 @@
+module routebricks
+
+go 1.24

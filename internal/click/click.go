@@ -17,6 +17,28 @@
 //     core per queue" rule by construction.
 //   - Elements charge virtual CPU cycles to the Context; the simulation
 //     harness converts those into time on the modeled server.
+//   - Dispatch is batch-native. Poll tasks pull a kp-packet pkt.Batch
+//     from their receive ring and push the whole batch through the graph
+//     with one call per hop (§4.2's poll batching made a code path, not
+//     just a cost-model divisor). Elements implementing BatchElement
+//     process batches in place; per-packet elements are driven through
+//     an adapter installed at Connect time, so the two styles mix freely
+//     in one graph.
+//
+// # Ownership discipline
+//
+// Exactly one owner per packet at any time. Pushing a packet — via
+// Push, Out, PushBatch, or OutBatch — transfers ownership downstream:
+// the pusher must not touch the packet again unless it comes back (it
+// never does; the graph is a DAG of synchronous calls). An element that
+// terminates a packet's life (Discard, Sink, a drop on a full transmit
+// ring) is the sole owner at that moment and may return the buffer to a
+// pkt.Pool; everything upstream has already let go. Batch containers
+// are different: OutBatch hands the *packets* downstream but returns
+// the emptied Batch to the caller, so a poll task reuses one Batch for
+// its whole lifetime. Elements that filter a batch do it in place with
+// Take/Drop + Compact before forwarding, never by allocating a new
+// container.
 package click
 
 import (
@@ -120,12 +142,23 @@ type OutputSetter interface {
 }
 
 // Base provides output-port bookkeeping for element implementations.
-// Embed it and call Out to forward packets.
+// Embed it and call Out to forward single packets, OutBatch to forward
+// batches. Each port can carry a per-packet binding, a batch binding, or
+// both; either call falls back to the other binding when its own is
+// missing, so graphs mixing batch-native and per-packet elements always
+// deliver.
 type Base struct {
-	outs []Output
+	outs  []Output
+	bouts []BatchOutput
+	// one is the lazily built scratch batch behind Out's batch-only-port
+	// fallback, so wrapping a single packet never touches the heap after
+	// the first use. Safe to reuse across calls because the graph is a
+	// DAG of synchronous dispatches: the batch is consumed before Out
+	// returns.
+	one *pkt.Batch
 }
 
-// SetOutput binds output port i.
+// SetOutput binds output port i's per-packet path.
 func (b *Base) SetOutput(i int, out Output) {
 	for len(b.outs) <= i {
 		b.outs = append(b.outs, nil)
@@ -133,16 +166,58 @@ func (b *Base) SetOutput(i int, out Output) {
 	b.outs[i] = out
 }
 
+// SetBatchOutput binds output port i's batch path.
+func (b *Base) SetBatchOutput(i int, out BatchOutput) {
+	for len(b.bouts) <= i {
+		b.bouts = append(b.bouts, nil)
+	}
+	b.bouts[i] = out
+}
+
 // Out pushes p to output port i; unconnected ports drop silently (like
-// Click's Discard-terminated dangling outputs, but explicit).
+// Click's Discard-terminated dangling outputs, but explicit). A port
+// with only a batch binding delivers p as a momentary batch of one.
 func (b *Base) Out(ctx *Context, i int, p *pkt.Packet) {
 	if i < len(b.outs) && b.outs[i] != nil {
 		b.outs[i](ctx, p)
+		return
+	}
+	if i < len(b.bouts) && b.bouts[i] != nil {
+		if b.one == nil {
+			b.one = pkt.NewBatch(1)
+		}
+		b.one.Reset()
+		b.one.Add(p)
+		b.bouts[i](ctx, b.one)
+		b.one.Reset()
 	}
 }
 
-// Connected reports whether output i is bound.
-func (b *Base) Connected(i int) bool { return i < len(b.outs) && b.outs[i] != nil }
+// OutBatch pushes a whole batch to output port i. Ownership of the
+// packets passes downstream; the Batch container returns to the caller
+// empty, ready for refilling. Ports bound only per-packet receive the
+// batch unrolled in slot order; unconnected ports drop the batch.
+func (b *Base) OutBatch(ctx *Context, i int, batch *pkt.Batch) {
+	if i < len(b.bouts) && b.bouts[i] != nil {
+		b.bouts[i](ctx, batch)
+		batch.Reset()
+		return
+	}
+	if i < len(b.outs) && b.outs[i] != nil {
+		out := b.outs[i]
+		for _, p := range batch.Packets() {
+			if p != nil {
+				out(ctx, p)
+			}
+		}
+	}
+	batch.Reset()
+}
+
+// Connected reports whether output i is bound (either path).
+func (b *Base) Connected(i int) bool {
+	return (i < len(b.outs) && b.outs[i] != nil) || (i < len(b.bouts) && b.bouts[i] != nil)
+}
 
 // Router is a named element graph.
 type Router struct {
@@ -222,6 +297,12 @@ func (r *Router) Connect(from string, fromPort int, to string, toPort int) error
 	setter.SetOutput(fromPort, func(ctx *Context, p *pkt.Packet) {
 		dst.Push(ctx, toPort, p)
 	})
+	// Wire the batch path alongside the per-packet one: native when the
+	// destination is batch-aware, otherwise the automatic per-packet
+	// adapter, chosen once here so dispatch stays a single indirect call.
+	if bsetter, ok := src.(BatchOutputSetter); ok {
+		bsetter.SetBatchOutput(fromPort, BatchDispatch(dst, toPort))
+	}
 	r.conns = append(r.conns, conn{from, fromPort, to, toPort})
 	return nil
 }

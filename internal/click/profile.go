@@ -101,5 +101,17 @@ func (r *Router) Instrument(p *Profiler) {
 			dst.Push(ctx, c.toPort, pk)
 			p.Account(c.to, ctx.popFrame(i), 1)
 		})
+		// Batch connections are bracketed the same way: the whole batch
+		// dispatch (native or adapted) is one frame, and every packet in
+		// the batch counts toward the destination element.
+		if bsrc, ok := src.(BatchOutputSetter); ok {
+			inner := BatchDispatch(dst, c.toPort)
+			bsrc.SetBatchOutput(c.fromPort, func(ctx *Context, b *pkt.Batch) {
+				n := uint64(b.Len())
+				i := ctx.pushFrame()
+				inner(ctx, b)
+				p.Account(c.to, ctx.popFrame(i), n)
+			})
+		}
 	}
 }

@@ -236,10 +236,13 @@ func (c *Cluster) Inject(at sim.Time, nodeID int, p *pkt.Packet) {
 			c.flying--
 			if n.failed {
 				c.failureDrops++
+				pkt.DefaultPool.Put(p)
 				return
 			}
 			if n.ext.Deliver(p) {
 				c.arrived++
+			} else {
+				pkt.DefaultPool.Put(p)
 			}
 		})
 	})

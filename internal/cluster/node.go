@@ -40,6 +40,11 @@ func newNode(c *Cluster, id int) *node {
 	}
 	qcfg := nic.Config{RXQueues: cores, TXQueues: cores, QueueSize: cfg.QueueSize}
 	n := &node{c: c, id: id}
+	// Every drop point is a terminal owner: recycle so a long-running
+	// simulation forwards without allocation churn.
+	n.ttlDiscard.Recycle = pkt.DefaultPool
+	n.hdrDiscard.Recycle = pkt.DefaultPool
+	n.missDiscard.Recycle = pkt.DefaultPool
 	extCfg := qcfg
 	extCfg.Steering = nic.SteerRSS
 	n.ext = nic.NewPort(id*100, extCfg)
@@ -132,19 +137,22 @@ func newCore(n *node, idx int) *core {
 	cfg := n.c.cfg
 
 	// Ingress pipeline: external queue idx → CheckIPHeader → LPMLookup →
-	// DecIPTTL → vlbIngress → per-destination ToDevice.
+	// DecIPTTL → vlbIngress → per-destination ToDevice. The good path is
+	// wired batch-to-batch, so one kp-packet poll travels the whole
+	// pipeline as a single dispatch per hop; error ports (rare) divert
+	// per packet into the recycling discards.
 	ing := &vlbIngress{core: c}
 	ing.build()
 	look := elements.NewLPMLookup(n.c.table)
 	check := &elements.CheckIPHeader{}
 	ttl := &elements.DecIPTTL{}
 	poll := elements.NewPollDevice(n.ext.RX(idx), cfg.KP)
-	poll.SetOutput(0, func(ctx *click.Context, p *pkt.Packet) { check.Push(ctx, 0, p) })
-	check.SetOutput(0, func(ctx *click.Context, p *pkt.Packet) { look.Push(ctx, 0, p) })
+	poll.SetBatchOutput(0, click.BatchDispatch(check, 0))
+	check.SetBatchOutput(0, click.BatchDispatch(look, 0))
 	check.SetOutput(1, func(ctx *click.Context, p *pkt.Packet) { n.hdrDiscard.Push(ctx, 0, p) })
-	look.SetOutput(0, func(ctx *click.Context, p *pkt.Packet) { ttl.Push(ctx, 0, p) })
+	look.SetBatchOutput(0, click.BatchDispatch(ttl, 0))
 	look.SetOutput(1, func(ctx *click.Context, p *pkt.Packet) { n.missDiscard.Push(ctx, 0, p) })
-	ttl.SetOutput(0, func(ctx *click.Context, p *pkt.Packet) { ing.Push(ctx, 0, p) })
+	ttl.SetBatchOutput(0, click.BatchDispatch(ing, 0))
 	ttl.SetOutput(1, func(ctx *click.Context, p *pkt.Packet) {
 		n.c.ttlDrops++
 		n.ttlDiscard.Push(ctx, 0, p)
@@ -169,7 +177,7 @@ func newCore(n *node, idx int) *core {
 		tr := &vlbTransit{core: c, outNode: q % cfg.Nodes}
 		tr.build()
 		tpoll := elements.NewPollDevice(p.RX(q), cfg.KP)
-		tpoll.SetOutput(0, func(ctx *click.Context, pk *pkt.Packet) { tr.Push(ctx, 0, pk) })
+		tpoll.SetBatchOutput(0, click.BatchDispatch(tr, 0))
 		c.polls = append(c.polls, tpoll)
 	}
 	return c
@@ -205,16 +213,27 @@ type vlbIngress struct {
 	core  *core
 	toExt *elements.ToDevice
 	to    []*elements.ToDevice // per peer node
+
+	// Per-destination scatter batches, refilled on every PushBatch so the
+	// TX path stays batch-native from poll to descriptor ring.
+	scratchExt *pkt.Batch
+	scratch    []*pkt.Batch
 }
 
 func (v *vlbIngress) build() {
 	n := v.core.n
 	kn := n.c.cfg.KN
+	kp := n.c.cfg.KP
 	v.toExt = elements.NewToDevice(n.ext.TX(v.core.idx), kn)
+	v.toExt.Recycle = pkt.DefaultPool
+	v.scratchExt = pkt.NewBatch(kp)
 	v.to = make([]*elements.ToDevice, n.c.cfg.Nodes)
+	v.scratch = make([]*pkt.Batch, n.c.cfg.Nodes)
 	for j, p := range n.peersIn {
 		if p != nil {
 			v.to[j] = elements.NewToDevice(p.TX(v.core.idx), kn)
+			v.to[j].Recycle = pkt.DefaultPool
+			v.scratch[j] = pkt.NewBatch(kp)
 		}
 	}
 }
@@ -228,15 +247,23 @@ func (v *vlbIngress) OutPorts() int { return 0 }
 // Push routes the packet into the cluster.
 func (v *vlbIngress) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 	n := v.core.n
-	out := p.NextHop // output node, resolved by LPMLookup against the FIB
 	if n.c.cfg.Flowlets {
 		ctx.Charge(hw.ReorderTaxCycles)
 	}
+	_, dev := v.route(ctx, p)
+	dev.Push(ctx, 0, p)
+}
+
+// route makes the VLB decision for one packet — annotating phase,
+// rewriting the steering MAC — and returns the chosen next node (-1 for
+// the local external port) with its transmit element.
+func (v *vlbIngress) route(ctx *click.Context, p *pkt.Packet) (int, *elements.ToDevice) {
+	n := v.core.n
+	out := p.NextHop // output node, resolved by LPMLookup against the FIB
 	p.VLBPhase = 1
 	if out == n.id {
 		// Hairpin: destined to this node's own external port.
-		v.toExt.Push(ctx, 0, p)
-		return
+		return -1, v.toExt
 	}
 	// The steering MAC carries the output node plus flow-hash bits above
 	// it, sharding each output's egress work across split queues (and so
@@ -248,7 +275,40 @@ func (v *vlbIngress) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 	p.Ether().SetSrc(pkt.NodeMAC(n.id))
 	p.Ether().SetDst(pkt.NodeMAC(steer))
 	d := n.bal.Route(sim.Time(ctx.Now()), p, out)
-	v.to[d.Next].Push(ctx, 0, p)
+	return d.Next, v.to[d.Next]
+}
+
+// PushBatch routes a whole poll batch: the balancer decision is still
+// per packet (VLB spreads flowlets), but packets are regrouped into
+// per-destination batches so each transmit ring sees one bulk enqueue —
+// the TX side of the paper's kn batching as a code path.
+func (v *vlbIngress) PushBatch(ctx *click.Context, _ int, b *pkt.Batch) {
+	n := v.core.n
+	cnt := b.Compact()
+	if cnt == 0 {
+		return
+	}
+	if n.c.cfg.Flowlets {
+		ctx.Charge(hw.ReorderTaxCycles * float64(cnt))
+	}
+	for i, p := range b.Packets() {
+		b.Drop(i)
+		next, _ := v.route(ctx, p)
+		if next < 0 {
+			v.scratchExt.Add(p)
+			continue
+		}
+		v.scratch[next].Add(p)
+	}
+	b.Reset()
+	if v.scratchExt.Len() > 0 {
+		v.toExt.PushBatch(ctx, 0, v.scratchExt)
+	}
+	for j, s := range v.scratch {
+		if s != nil && s.Len() > 0 {
+			v.to[j].PushBatch(ctx, 0, s)
+		}
+	}
 }
 
 // vlbTransit is the second RB4 element: packets arriving on an internal
@@ -267,8 +327,10 @@ func (v *vlbTransit) build() {
 	kn := n.c.cfg.KN
 	if v.outNode == n.id {
 		v.toExt = elements.NewToDevice(n.ext.TX(v.core.idx), kn)
+		v.toExt.Recycle = pkt.DefaultPool
 	} else {
 		v.toPeer = elements.NewToDevice(n.peersIn[v.outNode].TX(v.core.idx), kn)
+		v.toPeer.Recycle = pkt.DefaultPool
 	}
 }
 
@@ -286,6 +348,22 @@ func (v *vlbTransit) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 		return
 	}
 	v.toPeer.Push(ctx, 0, p)
+}
+
+// PushBatch moves a whole batch along. Every packet in queue q belongs
+// to output node q (MAC steering), so the batch maps to exactly one
+// transmit ring — the ideal case for bulk enqueue.
+func (v *vlbTransit) PushBatch(ctx *click.Context, _ int, b *pkt.Batch) {
+	for _, p := range b.Packets() {
+		if p != nil {
+			p.VLBPhase++
+		}
+	}
+	if v.toExt != nil {
+		v.toExt.PushBatch(ctx, 0, b)
+		return
+	}
+	v.toPeer.PushBatch(ctx, 0, b)
 }
 
 // txEngine is the NIC-side transmit DMA engine for one port: it forms
@@ -384,9 +462,14 @@ func (e *txEngine) deliver(at sim.Time, p *pkt.Packet) {
 			c.flying--
 			if c.nodes[to].failed {
 				c.failureDrops++
+				pkt.DefaultPool.Put(p)
 				return
 			}
-			c.nodes[to].peersIn[from].Deliver(p)
+			if !c.nodes[to].peersIn[from].Deliver(p) {
+				// Receive ring overflow: the ring counted the drop; the
+				// buffer's life ends here.
+				pkt.DefaultPool.Put(p)
+			}
 		})
 	})
 }
@@ -407,4 +490,8 @@ func (c *Cluster) measure(p *pkt.Packet) {
 		phase = 3
 	}
 	c.Hops[phase]++
+	// The packet has left the router and been measured: its buffer goes
+	// back to the pool, closing the allocation loop with the workload's
+	// pkt.New calls.
+	pkt.DefaultPool.Put(p)
 }

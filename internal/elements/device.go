@@ -27,7 +27,7 @@ type PollDevice struct {
 	click.Base
 	queue *nic.Ring
 	kp    int
-	batch []*pkt.Packet
+	batch *pkt.Batch
 
 	// ChargeForward controls whether the element charges the minimal-
 	// forwarding application cycles per packet (on by default). Graphs
@@ -44,7 +44,7 @@ func NewPollDevice(queue *nic.Ring, kp int) *PollDevice {
 	if kp < 1 {
 		kp = 1
 	}
-	return &PollDevice{queue: queue, kp: kp, batch: make([]*pkt.Packet, kp), ChargeForward: true}
+	return &PollDevice{queue: queue, kp: kp, batch: pkt.NewBatch(kp), ChargeForward: true}
 }
 
 // InPorts reports 0: PollDevice is a source.
@@ -58,10 +58,11 @@ func (d *PollDevice) Push(*click.Context, int, *pkt.Packet) {
 	panic("elements: PollDevice has no input ports")
 }
 
-// Run polls once: up to kp packets are pulled and pushed downstream.
-// It implements click.Task.
+// Run polls once: up to kp packets are pulled as one batch and pushed
+// downstream in a single dispatch. It implements click.Task.
 func (d *PollDevice) Run(ctx *click.Context) int {
-	n := d.queue.DequeueBatch(d.batch)
+	d.batch.Reset()
+	n := d.queue.DequeueBatchInto(d.batch)
 	d.polls++
 	if n == 0 {
 		d.emptyPolls++
@@ -74,14 +75,12 @@ func (d *PollDevice) Run(ctx *click.Context) int {
 	// batch pays proportionally to what it actually moved.
 	ctx.Charge(hw.PollCycles * float64(n) / float64(d.kp))
 	d.packets += uint64(n)
-	for i := 0; i < n; i++ {
-		p := d.batch[i]
-		d.batch[i] = nil
-		if d.ChargeForward {
+	if d.ChargeForward {
+		for _, p := range d.batch.Packets() {
 			ctx.Charge(hw.ForwardCycles(p.Len()))
 		}
-		d.Out(ctx, 0, p)
 	}
+	d.OutBatch(ctx, 0, d.batch)
 	return n
 }
 
@@ -94,8 +93,13 @@ func (d *PollDevice) Stats() (polls, empty, packets uint64) {
 // amortized per-transaction descriptor cost. Packets that do not fit are
 // dropped and counted (the queue's own drop counter also advances).
 type ToDevice struct {
-	queue   *nic.Ring
-	kn      int
+	queue *nic.Ring
+	kn    int
+
+	// Recycle, when set, receives packets that were dropped because the
+	// transmit ring was full — the element is their last owner.
+	Recycle *pkt.Pool
+
 	sent    uint64
 	dropped uint64
 }
@@ -121,7 +125,30 @@ func (d *ToDevice) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 		d.sent++
 	} else {
 		d.dropped++
+		if d.Recycle != nil {
+			d.Recycle.Put(p)
+		}
 	}
+}
+
+// PushBatch enqueues a whole batch with one ring transaction, charging
+// the amortized descriptor cost once for the batch instead of once per
+// packet. Overflowing packets come back compacted in b; they are
+// recycled when a pool is attached, and the batch is returned empty
+// either way.
+func (d *ToDevice) PushBatch(ctx *click.Context, _ int, b *pkt.Batch) {
+	n := b.Compact()
+	if n == 0 {
+		return
+	}
+	ctx.Charge(hw.NICBatchCycles * float64(n) / float64(d.kn))
+	accepted := d.queue.EnqueueBatch(b)
+	d.sent += uint64(accepted)
+	d.dropped += uint64(n - accepted)
+	if d.Recycle != nil {
+		d.Recycle.PutBatch(b)
+	}
+	b.Reset()
 }
 
 // Stats reports (sent, dropped).
@@ -131,7 +158,11 @@ func (d *ToDevice) Stats() (sent, dropped uint64) { return d.sent, d.dropped }
 // harnesses and measurement points use it. The callback may be nil, in
 // which case Sink just counts. Safe for concurrent pushes.
 type Sink struct {
-	Fn    func(ctx *click.Context, p *pkt.Packet)
+	Fn func(ctx *click.Context, p *pkt.Packet)
+	// Recycle, when set, returns every consumed packet to the pool after
+	// Fn has seen it — the sink owns packets it receives.
+	Recycle *pkt.Pool
+
 	count atomic.Uint64
 	bytes atomic.Uint64
 }
@@ -148,6 +179,9 @@ func (s *Sink) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 	s.bytes.Add(uint64(p.Len()))
 	if s.Fn != nil {
 		s.Fn(ctx, p)
+	}
+	if s.Recycle != nil {
+		s.Recycle.Put(p)
 	}
 }
 

@@ -27,14 +27,47 @@ func (c *Classifier) OutPorts() int { return len(c.Types) + 1 }
 
 // Push dispatches by EtherType.
 func (c *Classifier) Push(ctx *click.Context, _ int, p *pkt.Packet) {
+	c.Out(ctx, c.match(p), p)
+}
+
+// match returns the output port for a packet's EtherType.
+func (c *Classifier) match(p *pkt.Packet) int {
 	et := p.Ether().EtherType()
 	for i, t := range c.Types {
 		if et == t {
-			c.Out(ctx, i, p)
-			return
+			return i
 		}
 	}
-	c.Out(ctx, len(c.Types), p)
+	return len(c.Types)
+}
+
+// PushBatch dispatches a whole batch. Real traffic is overwhelmingly
+// uniform at this point in a graph (one EtherType per link), so the
+// batch is forwarded whole when every packet matches the same output;
+// mixed batches fall back to per-packet scatter in slot order.
+func (c *Classifier) PushBatch(ctx *click.Context, _ int, b *pkt.Batch) {
+	n := b.Compact()
+	if n == 0 {
+		return
+	}
+	pkts := b.Packets()
+	out := c.match(pkts[0])
+	uniform := true
+	for _, p := range pkts[1:] {
+		if c.match(p) != out {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		c.OutBatch(ctx, out, b)
+		return
+	}
+	for i, p := range pkts {
+		b.Drop(i)
+		c.Out(ctx, c.match(p), p)
+	}
+	b.Reset()
 }
 
 // CheckIPHeader validates the IPv4 header (version, IHL, total length,
@@ -54,24 +87,46 @@ func (c *CheckIPHeader) OutPorts() int { return 2 }
 
 // Push validates the header.
 func (c *CheckIPHeader) Push(ctx *click.Context, _ int, p *pkt.Packet) {
-	if len(p.Data) < pkt.EtherHdrLen+pkt.IPv4HdrLen {
-		c.invalid++
-		c.Out(ctx, 1, p)
-		return
-	}
-	h := p.IPv4()
-	ok := h.Version() == 4 &&
-		h.IHL() == 5 &&
-		int(h.TotalLength()) <= p.Len()-pkt.EtherHdrLen &&
-		int(h.TotalLength()) >= pkt.IPv4HdrLen &&
-		h.VerifyChecksum()
-	if !ok {
+	if !c.headerOK(p) {
 		c.invalid++
 		c.Out(ctx, 1, p)
 		return
 	}
 	c.valid++
 	c.Out(ctx, 0, p)
+}
+
+// headerOK performs the validation itself.
+func (c *CheckIPHeader) headerOK(p *pkt.Packet) bool {
+	if len(p.Data) < pkt.EtherHdrLen+pkt.IPv4HdrLen {
+		return false
+	}
+	h := p.IPv4()
+	return h.Version() == 4 &&
+		h.IHL() == 5 &&
+		int(h.TotalLength()) <= p.Len()-pkt.EtherHdrLen &&
+		int(h.TotalLength()) >= pkt.IPv4HdrLen &&
+		h.VerifyChecksum()
+}
+
+// PushBatch validates the batch in place: bad packets divert to output
+// 1 one at a time (the rare path), survivors compact and continue to
+// output 0 as one batch.
+func (c *CheckIPHeader) PushBatch(ctx *click.Context, _ int, b *pkt.Batch) {
+	for i, p := range b.Packets() {
+		if p == nil {
+			continue
+		}
+		if !c.headerOK(p) {
+			c.invalid++
+			c.Out(ctx, 1, b.Take(i))
+			continue
+		}
+		c.valid++
+	}
+	if b.Compact() > 0 {
+		c.OutBatch(ctx, 0, b)
+	}
 }
 
 // Stats reports (valid, invalid) counts.
@@ -98,6 +153,23 @@ func (d *DecIPTTL) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 		return
 	}
 	d.Out(ctx, 0, p)
+}
+
+// PushBatch decrements TTLs across the batch; expired packets divert to
+// output 1 individually, the rest continue as one batch.
+func (d *DecIPTTL) PushBatch(ctx *click.Context, _ int, b *pkt.Batch) {
+	for i, p := range b.Packets() {
+		if p == nil {
+			continue
+		}
+		if !p.IPv4().DecTTL() {
+			d.expired++
+			d.Out(ctx, 1, b.Take(i))
+		}
+	}
+	if b.Compact() > 0 {
+		d.OutBatch(ctx, 0, b)
+	}
 }
 
 // Expired reports how many packets hit TTL 0.
@@ -134,6 +206,29 @@ func (l *LPMLookup) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 	}
 	p.NextHop = hop
 	l.Out(ctx, 0, p)
+}
+
+// PushBatch looks up every destination, charging the routing delta once
+// for the whole batch. Misses divert to output 1 individually; hits
+// continue as one batch with NextHop annotated.
+func (l *LPMLookup) PushBatch(ctx *click.Context, _ int, b *pkt.Batch) {
+	n := b.Compact()
+	if n == 0 {
+		return
+	}
+	ctx.Charge(hw.RouteExtraCycles() * float64(n))
+	for i, p := range b.Packets() {
+		hop := l.Table.Lookup(p.IPv4().DstUint32())
+		if hop == lpm.NoRoute {
+			l.misses++
+			l.Out(ctx, 1, b.Take(i))
+			continue
+		}
+		p.NextHop = hop
+	}
+	if b.Compact() > 0 {
+		l.OutBatch(ctx, 0, b)
+	}
 }
 
 // Misses reports lookup failures.

@@ -16,9 +16,12 @@ import (
 // ESP(SPI, seq, IV, ciphertext of the whole inner IP packet).
 type ESPEncap struct {
 	click.Base
-	Tunnel   *ipsec.Tunnel
-	Local    netip.Addr // outer source
-	Peer     netip.Addr // outer destination
+	Tunnel *ipsec.Tunnel
+	Local  netip.Addr // outer source
+	Peer   netip.Addr // outer destination
+	// Recycle, when set, receives the consumed plaintext packets (the
+	// element re-frames into a fresh buffer and owns the original).
+	Recycle  *pkt.Pool
 	oversize uint64
 }
 
@@ -45,12 +48,10 @@ func (e *ESPEncap) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 		e.Out(ctx, 1, p)
 		return
 	}
-	out := &pkt.Packet{
-		Data:      make([]byte, outLen),
-		Arrival:   p.Arrival,
-		InputPort: p.InputPort,
-		SeqNo:     p.SeqNo,
-	}
+	out := pkt.DefaultPool.Get(outLen)
+	out.Arrival = p.Arrival
+	out.InputPort = p.InputPort
+	out.SeqNo = p.SeqNo
 	eh := out.Ether()
 	eh.SetSrc(p.Ether().Src())
 	eh.SetDst(p.Ether().Dst())
@@ -64,6 +65,9 @@ func (e *ESPEncap) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 	ih.SetDst(e.Peer)
 	ih.UpdateChecksum()
 	copy(out.Data[pkt.EtherHdrLen+pkt.IPv4HdrLen:], esp)
+	if e.Recycle != nil {
+		e.Recycle.Put(p)
+	}
 	e.Out(ctx, 0, out)
 }
 
@@ -76,7 +80,9 @@ func (e *ESPEncap) Oversize() uint64 { return e.oversize }
 type ESPDecap struct {
 	click.Base
 	Tunnel *ipsec.Tunnel
-	errors uint64
+	// Recycle, when set, receives the consumed ciphertext packets.
+	Recycle *pkt.Pool
+	errors  uint64
 }
 
 // NewESPDecap builds the decryption element.
@@ -103,17 +109,18 @@ func (e *ESPDecap) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 		e.Out(ctx, 1, p)
 		return
 	}
-	out := &pkt.Packet{
-		Data:      make([]byte, pkt.EtherHdrLen+len(inner)),
-		Arrival:   p.Arrival,
-		InputPort: p.InputPort,
-		SeqNo:     p.SeqNo,
-	}
+	out := pkt.DefaultPool.Get(pkt.EtherHdrLen + len(inner))
+	out.Arrival = p.Arrival
+	out.InputPort = p.InputPort
+	out.SeqNo = p.SeqNo
 	eh := out.Ether()
 	eh.SetSrc(p.Ether().Src())
 	eh.SetDst(p.Ether().Dst())
 	eh.SetEtherType(pkt.EtherTypeIPv4)
 	copy(out.Data[pkt.EtherHdrLen:], inner)
+	if e.Recycle != nil {
+		e.Recycle.Put(p)
+	}
 	e.Out(ctx, 0, out)
 }
 

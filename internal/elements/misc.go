@@ -27,6 +27,22 @@ func (c *Counter) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 	c.Out(ctx, 0, p)
 }
 
+// PushBatch counts the whole batch with two counter updates and
+// forwards it untouched.
+func (c *Counter) PushBatch(ctx *click.Context, _ int, b *pkt.Batch) {
+	n := b.Compact()
+	if n == 0 {
+		return
+	}
+	var bytes uint64
+	for _, p := range b.Packets() {
+		bytes += uint64(p.Len())
+	}
+	c.packets.Add(uint64(n))
+	c.bytes.Add(bytes)
+	c.OutBatch(ctx, 0, b)
+}
+
 // Packets reports the packet count.
 func (c *Counter) Packets() uint64 { return c.packets.Load() }
 
@@ -39,8 +55,13 @@ func (c *Counter) Reset() {
 	c.bytes.Store(0)
 }
 
-// Discard drops everything, counting as it goes.
+// Discard drops everything, counting as it goes. As a terminal owner of
+// every packet it receives, it is the natural place to return buffers to
+// a pool: set Recycle and steady-state drops cost no allocation churn.
 type Discard struct {
+	// Recycle, when set, receives every dropped packet.
+	Recycle *pkt.Pool
+
 	count atomic.Uint64
 }
 
@@ -51,7 +72,21 @@ func (d *Discard) InPorts() int { return 1 }
 func (d *Discard) OutPorts() int { return 0 }
 
 // Push drops.
-func (d *Discard) Push(_ *click.Context, _ int, _ *pkt.Packet) { d.count.Add(1) }
+func (d *Discard) Push(_ *click.Context, _ int, p *pkt.Packet) {
+	d.count.Add(1)
+	if d.Recycle != nil {
+		d.Recycle.Put(p)
+	}
+}
+
+// PushBatch drops the whole batch with one counter update.
+func (d *Discard) PushBatch(_ *click.Context, _ int, b *pkt.Batch) {
+	d.count.Add(uint64(b.Compact()))
+	if d.Recycle != nil {
+		d.Recycle.PutBatch(b)
+	}
+	b.Reset()
+}
 
 // Count reports dropped packets.
 func (d *Discard) Count() uint64 { return d.count.Load() }
@@ -72,7 +107,10 @@ func (t *Tee) InPorts() int { return 1 }
 // OutPorts reports N.
 func (t *Tee) OutPorts() int { return t.N }
 
-// Push replicates.
+// Push replicates: exactly N-1 pool-backed clones for outputs 1..N-1,
+// with the original forwarded on output 0 — never a wasted copy. Clones
+// are cut before the original is forwarded, because downstream of
+// output 0 may rewrite the packet in place.
 func (t *Tee) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 	for i := 1; i < t.N; i++ {
 		t.Out(ctx, i, p.Clone())

@@ -17,6 +17,12 @@ type Reassembler struct {
 	// reassembly timer).
 	TimeoutNs int64
 
+	// Recycle, when set, receives consumed fragments: non-first
+	// fragments as soon as their payload is absorbed, the first fragment
+	// (whose headers seed the rebuilt datagram) after emission, and
+	// every fragment of an evicted partial datagram.
+	Recycle *pkt.Pool
+
 	partial map[fragKey]*partialDatagram
 
 	completed uint64
@@ -93,17 +99,31 @@ func (r *Reassembler) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 	for b := off / 8; b <= (off+len(data)-1)/8 && b < len(pd.have); b++ {
 		pd.have[b] = true
 	}
-	if off == 0 {
-		pd.first = p
-	}
+	// Everything needed from p's header is read before any Put: a Put
+	// packet may be handed out and overwritten at any moment.
 	if !ih.MF() {
 		pd.totalLen = off + len(data)
+	}
+	if off == 0 {
+		if pd.first != nil && pd.first != p && r.Recycle != nil {
+			r.Recycle.Put(pd.first) // duplicate first fragment supersedes
+		}
+		pd.first = p
+	} else if r.Recycle != nil {
+		// Payload absorbed; only the first fragment's headers are still
+		// needed for the rebuild.
+		r.Recycle.Put(p)
 	}
 
 	if pd.totalLen > 0 && pd.first != nil && r.complete(pd) {
 		delete(r.partial, key)
 		r.completed++
-		r.Out(ctx, 0, r.rebuild(pd))
+		out := r.rebuild(pd)
+		if r.Recycle != nil {
+			r.Recycle.Put(pd.first)
+			pd.first = nil
+		}
+		r.Out(ctx, 0, out)
 	}
 }
 
@@ -119,14 +139,12 @@ func (r *Reassembler) complete(pd *partialDatagram) bool {
 }
 
 // rebuild assembles the full datagram from the first fragment's headers
-// and the collected payload.
+// and the collected payload, into a pool-drawn buffer.
 func (r *Reassembler) rebuild(pd *partialDatagram) *pkt.Packet {
-	out := &pkt.Packet{
-		Data:      make([]byte, pkt.EtherHdrLen+pkt.IPv4HdrLen+pd.totalLen),
-		Arrival:   pd.first.Arrival,
-		InputPort: pd.first.InputPort,
-		SeqNo:     pd.first.SeqNo,
-	}
+	out := pkt.DefaultPool.Get(pkt.EtherHdrLen + pkt.IPv4HdrLen + pd.totalLen)
+	out.Arrival = pd.first.Arrival
+	out.InputPort = pd.first.InputPort
+	out.SeqNo = pd.first.SeqNo
 	copy(out.Data[:pkt.EtherHdrLen+pkt.IPv4HdrLen], pd.first.Data[:pkt.EtherHdrLen+pkt.IPv4HdrLen])
 	copy(out.Data[pkt.EtherHdrLen+pkt.IPv4HdrLen:], pd.payload[:pd.totalLen])
 	ih := out.IPv4()
@@ -145,6 +163,10 @@ func (r *Reassembler) evict(now int64) {
 		if now-pd.lastSeen > r.TimeoutNs {
 			delete(r.partial, k)
 			r.timedOut++
+			if r.Recycle != nil && pd.first != nil {
+				r.Recycle.Put(pd.first)
+				pd.first = nil
+			}
 		}
 	}
 }

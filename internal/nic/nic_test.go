@@ -98,6 +98,54 @@ func TestRingDequeueBatch(t *testing.T) {
 	}
 }
 
+func TestRingEnqueueBatchOverflowStaysWithCaller(t *testing.T) {
+	r := NewRing(4)
+	b := pkt.NewBatch(8)
+	for i := 0; i < 7; i++ {
+		b.Add(mkpkt(i))
+	}
+	if n := r.EnqueueBatch(b); n != 4 {
+		t.Fatalf("accepted %d, want 4", n)
+	}
+	if r.Drops() != 3 {
+		t.Fatalf("drops = %d, want 3", r.Drops())
+	}
+	// The three overflowing packets remain with the caller, compacted,
+	// in order — the caller still owns them (recycling, recounting).
+	if b.Len() != 3 {
+		t.Fatalf("left in batch = %d, want 3", b.Len())
+	}
+	for i, p := range b.Packets() {
+		if p.SeqNo != uint64(4+i) {
+			t.Fatalf("overflow order broken at %d: SeqNo %d", i, p.SeqNo)
+		}
+	}
+	// Accepted packets come out FIFO in slot order.
+	for i := 0; i < 4; i++ {
+		if p := r.Dequeue(); p.SeqNo != uint64(i) {
+			t.Fatalf("ring order broken at %d: SeqNo %d", i, p.SeqNo)
+		}
+	}
+
+	// A batch into a fresh ring via DequeueBatchInto round-trips whole.
+	r2 := NewRing(8)
+	if n := r2.EnqueueBatch(b); n != 3 {
+		t.Fatalf("second enqueue = %d, want 3", n)
+	}
+	if b.Len() != 0 {
+		t.Fatalf("batch not emptied: %d", b.Len())
+	}
+	got := pkt.NewBatch(8)
+	if n := r2.DequeueBatchInto(got); n != 3 {
+		t.Fatalf("DequeueBatchInto = %d, want 3", n)
+	}
+	for i, p := range got.Packets() {
+		if p.SeqNo != uint64(4+i) {
+			t.Fatalf("round-trip order broken at %d", i)
+		}
+	}
+}
+
 // SPSC stress: one producer and one consumer on separate goroutines must
 // transfer every packet exactly once, in order. Run with -race.
 func TestRingSPSCConcurrent(t *testing.T) {

@@ -126,14 +126,7 @@ func (p *Port) DrainTX(out []*pkt.Packet, cursor *int) int {
 	for range p.tx {
 		q := p.tx[*cursor%len(p.tx)]
 		*cursor++
-		for n < len(out) {
-			pk := q.Dequeue()
-			if pk == nil {
-				break
-			}
-			out[n] = pk
-			n++
-		}
+		n += q.DequeueBatch(out[n:])
 		if n == len(out) {
 			break
 		}

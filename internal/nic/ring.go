@@ -69,6 +69,35 @@ func (r *Ring) Enqueue(p *pkt.Packet) bool {
 	return true
 }
 
+// EnqueueBatch appends as many of b's packets as fit, in slot order,
+// with one head/tail exchange — the transmit-side analog of the kn
+// descriptor batch. It returns how many were accepted. Each overflowing
+// packet counts a drop, but stays in b (compacted to the front) so the
+// caller — still its owner — can recycle or recount it; nil slots
+// (dropped-but-uncompacted) are skipped for free.
+func (r *Ring) EnqueueBatch(b *pkt.Batch) int {
+	tail := r.tail.Load()
+	room := uint64(len(r.buf)) - (tail - r.head.Load())
+	accepted := 0
+	for i, p := range b.Packets() {
+		if p == nil {
+			continue
+		}
+		if uint64(accepted) >= room {
+			r.drops.Add(1)
+			continue // leave the packet with the caller
+		}
+		b.Drop(i)
+		r.buf[(tail+uint64(accepted))&r.mask] = p
+		accepted++
+	}
+	if accepted > 0 {
+		r.tail.Store(tail + uint64(accepted))
+	}
+	b.Compact()
+	return accepted
+}
+
 // Dequeue removes and returns the oldest packet, or nil when empty.
 func (r *Ring) Dequeue() *pkt.Packet {
 	head := r.head.Load()
@@ -92,6 +121,26 @@ func (r *Ring) DequeueBatch(out []*pkt.Packet) int {
 	}
 	for i := uint64(0); i < n; i++ {
 		out[i] = r.buf[(head+i)&r.mask]
+		r.buf[(head+i)&r.mask] = nil
+	}
+	if n > 0 {
+		r.head.Store(head + n)
+	}
+	return int(n)
+}
+
+// DequeueBatchInto appends up to b's remaining capacity from the ring
+// and returns how many packets moved — DequeueBatch for callers that
+// speak pkt.Batch.
+func (r *Ring) DequeueBatchInto(b *pkt.Batch) int {
+	head := r.head.Load()
+	avail := r.tail.Load() - head
+	n := uint64(b.Cap() - b.Len())
+	if avail < n {
+		n = avail
+	}
+	for i := uint64(0); i < n; i++ {
+		b.Add(r.buf[(head+i)&r.mask])
 		r.buf[(head+i)&r.mask] = nil
 	}
 	if n > 0 {

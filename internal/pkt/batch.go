@@ -1,0 +1,98 @@
+package pkt
+
+// Batch is a fixed-capacity, ordered collection of packets — the unit of
+// dispatch in the batch-native click graph. It is the software image of
+// the kp-packet poll batch (§4.2 of the paper): a poll task fills one
+// Batch from a receive ring and pushes the whole thing through the
+// element graph with a single call per hop, so per-call overhead is paid
+// once per batch instead of once per packet.
+//
+// A Batch is a container, not an owner: the packets inside it move
+// downstream when the batch is pushed, while the Batch struct itself
+// stays with (and is reused by) whoever allocated it. Elements that
+// filter packets out mid-batch mark slots with Drop/Take and squeeze the
+// survivors together with Compact, preserving arrival order — the
+// in-place analog of Click's packet-killing without reallocation.
+type Batch struct {
+	pkts []*Packet
+	cap  int
+}
+
+// NewBatch returns an empty batch holding at most capacity packets
+// (minimum 1).
+func NewBatch(capacity int) *Batch {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Batch{pkts: make([]*Packet, 0, capacity), cap: capacity}
+}
+
+// Cap reports the fixed capacity.
+func (b *Batch) Cap() int { return b.cap }
+
+// Len reports the number of slots in use (dropped-but-not-compacted
+// slots still count; Compact to squeeze them out).
+func (b *Batch) Len() int { return len(b.pkts) }
+
+// Full reports whether Add would fail.
+func (b *Batch) Full() bool { return len(b.pkts) >= b.cap }
+
+// Add appends p; it reports false when the batch is full. Adding nil is
+// a no-op that reports true, so Add composes with Take-style scatters.
+func (b *Batch) Add(p *Packet) bool {
+	if p == nil {
+		return true
+	}
+	if len(b.pkts) >= b.cap {
+		return false
+	}
+	b.pkts = append(b.pkts, p)
+	return true
+}
+
+// At returns the packet in slot i (nil if the slot was dropped).
+func (b *Batch) At(i int) *Packet { return b.pkts[i] }
+
+// Take removes and returns the packet in slot i, leaving a hole that
+// Compact squeezes out. Use it to divert a packet to a slow path (an
+// error output, a clone) while the rest of the batch stays on the fast
+// path.
+func (b *Batch) Take(i int) *Packet {
+	p := b.pkts[i]
+	b.pkts[i] = nil
+	return p
+}
+
+// Drop marks slot i empty. The packet is simply forgotten; callers that
+// pool packets should Take and Put instead.
+func (b *Batch) Drop(i int) { b.pkts[i] = nil }
+
+// Compact squeezes dropped slots out in place, preserving the order of
+// the survivors, and returns the new length.
+func (b *Batch) Compact() int {
+	n := 0
+	for _, p := range b.pkts {
+		if p != nil {
+			b.pkts[n] = p
+			n++
+		}
+	}
+	for i := n; i < len(b.pkts); i++ {
+		b.pkts[i] = nil
+	}
+	b.pkts = b.pkts[:n]
+	return n
+}
+
+// Reset empties the batch for reuse, clearing slots so packet pointers
+// do not linger past their ownership.
+func (b *Batch) Reset() {
+	for i := range b.pkts {
+		b.pkts[i] = nil
+	}
+	b.pkts = b.pkts[:0]
+}
+
+// Packets returns the live slot view (length Len). Callers iterate it;
+// holding it across Add/Compact/Reset is a bug.
+func (b *Batch) Packets() []*Packet { return b.pkts }

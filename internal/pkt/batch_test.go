@@ -1,0 +1,116 @@
+package pkt
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func batchPacket(t testing.TB, seq uint64) *Packet {
+	t.Helper()
+	p := New(64, netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.1.0.1"), 1000, 2000)
+	p.SeqNo = seq
+	return p
+}
+
+func TestBatchAddAndCapacity(t *testing.T) {
+	b := NewBatch(4)
+	if b.Cap() != 4 || b.Len() != 0 || b.Full() {
+		t.Fatalf("fresh batch: cap=%d len=%d full=%v", b.Cap(), b.Len(), b.Full())
+	}
+	for i := 0; i < 4; i++ {
+		if !b.Add(batchPacket(t, uint64(i))) {
+			t.Fatalf("Add %d rejected below capacity", i)
+		}
+	}
+	if !b.Full() {
+		t.Fatal("batch not full at capacity")
+	}
+	if b.Add(batchPacket(t, 99)) {
+		t.Fatal("Add accepted past capacity")
+	}
+	if !b.Add(nil) {
+		t.Fatal("Add(nil) must be an accepted no-op")
+	}
+	if b.Len() != 4 {
+		t.Fatalf("len = %d after nil Add, want 4", b.Len())
+	}
+}
+
+func TestBatchCompactMidBatchDrops(t *testing.T) {
+	b := NewBatch(8)
+	for i := 0; i < 8; i++ {
+		b.Add(batchPacket(t, uint64(i)))
+	}
+	// Drop a mid-batch run (2,3), the head, and the tail — the shapes a
+	// filtering element produces.
+	b.Drop(2)
+	b.Drop(3)
+	b.Drop(0)
+	b.Drop(7)
+	if n := b.Compact(); n != 4 {
+		t.Fatalf("Compact = %d, want 4", n)
+	}
+	want := []uint64{1, 4, 5, 6}
+	for i, p := range b.Packets() {
+		if p == nil {
+			t.Fatalf("nil slot %d after Compact", i)
+		}
+		if p.SeqNo != want[i] {
+			t.Fatalf("slot %d SeqNo = %d, want %d (order not preserved)", i, p.SeqNo, want[i])
+		}
+	}
+	// Survivors can be topped back up to capacity.
+	for i := 0; i < 4; i++ {
+		if !b.Add(batchPacket(t, uint64(10+i))) {
+			t.Fatalf("Add rejected after Compact freed space")
+		}
+	}
+	if !b.Full() {
+		t.Fatal("batch should be full again")
+	}
+}
+
+func TestBatchTakeLeavesHole(t *testing.T) {
+	b := NewBatch(3)
+	p0, p1, p2 := batchPacket(t, 0), batchPacket(t, 1), batchPacket(t, 2)
+	b.Add(p0)
+	b.Add(p1)
+	b.Add(p2)
+	if got := b.Take(1); got != p1 {
+		t.Fatal("Take returned wrong packet")
+	}
+	if b.At(1) != nil {
+		t.Fatal("Take did not clear the slot")
+	}
+	if b.Len() != 3 {
+		t.Fatalf("Len = %d before Compact, want 3", b.Len())
+	}
+	if n := b.Compact(); n != 2 {
+		t.Fatalf("Compact = %d, want 2", n)
+	}
+	if b.At(0) != p0 || b.At(1) != p2 {
+		t.Fatal("Compact reordered survivors")
+	}
+}
+
+func TestBatchResetClearsSlots(t *testing.T) {
+	b := NewBatch(2)
+	b.Add(batchPacket(t, 0))
+	b.Add(batchPacket(t, 1))
+	b.Reset()
+	if b.Len() != 0 || b.Full() {
+		t.Fatalf("after Reset: len=%d full=%v", b.Len(), b.Full())
+	}
+	// The backing array must not retain packet pointers.
+	raw := b.Packets()[:2]
+	if raw[0] != nil || raw[1] != nil {
+		t.Fatal("Reset left packet pointers in cleared slots")
+	}
+}
+
+func TestBatchMinimumCapacity(t *testing.T) {
+	b := NewBatch(0)
+	if b.Cap() != 1 {
+		t.Fatalf("Cap = %d, want clamped minimum 1", b.Cap())
+	}
+}

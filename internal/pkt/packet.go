@@ -78,16 +78,22 @@ type Packet struct {
 	VLBPhase  int    // 0 = fresh, 1 = load-balanced once, 2 = at output node
 	Paint     byte   // generic element annotation (Click's Paint)
 	NextHop   int    // route-lookup result annotation (Click's dst anno)
+
+	// pooled guards against double-free: set while the packet sits on a
+	// Pool freelist, cleared when Get hands it out again.
+	pooled bool
 }
 
 // New builds a packet of exactly size bytes with an Ethernet+IPv4+UDP
 // skeleton. Payload bytes are zero. It panics if size is too small to hold
 // the headers; the minimum legal size here is EtherHdrLen+IPv4HdrLen+UDPHdrLen.
+// The buffer is drawn from DefaultPool, so a forwarding loop whose exits
+// Put packets back runs allocation-free in steady state.
 func New(size int, src, dst netip.Addr, srcPort, dstPort uint16) *Packet {
 	if size < EtherHdrLen+IPv4HdrLen+UDPHdrLen {
 		panic(fmt.Sprintf("pkt: size %d below minimum %d", size, EtherHdrLen+IPv4HdrLen+UDPHdrLen))
 	}
-	p := &Packet{Data: make([]byte, size)}
+	p := DefaultPool.Get(size)
 	eh := p.Ether()
 	eh.SetEtherType(EtherTypeIPv4)
 	ih := p.IPv4()
@@ -108,13 +114,17 @@ func New(size int, src, dst netip.Addr, srcPort, dstPort uint16) *Packet {
 // Len reports the frame length in bytes.
 func (p *Packet) Len() int { return len(p.Data) }
 
-// Clone deep-copies the packet, including metadata. VLB phase-1 never
-// duplicates packets, but test harnesses do.
+// Clone deep-copies the packet, including metadata, into a buffer drawn
+// from DefaultPool. VLB phase-1 never duplicates packets, but Tee and
+// test harnesses do.
 func (p *Packet) Clone() *Packet {
-	q := *p
-	q.Data = make([]byte, len(p.Data))
-	copy(q.Data, p.Data)
-	return &q
+	q := DefaultPool.getRaw(len(p.Data))
+	data := q.Data
+	copy(data, p.Data)
+	*q = *p
+	q.Data = data
+	q.pooled = false
+	return q
 }
 
 // Ether returns a view over the Ethernet header.

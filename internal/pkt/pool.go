@@ -1,0 +1,131 @@
+package pkt
+
+import "sync"
+
+// Pool is a freelist of Packets. Steady-state forwarding churns through
+// millions of short-lived packets; without a pool every one is a fresh
+// allocation that the garbage collector must later chase, which is
+// exactly the per-packet overhead the paper's batching discipline exists
+// to amortize. With the pool, packet memory cycles between the traffic
+// sources that Get and the graph exits (Discard, Sink, the cluster's
+// delivery measurement) that Put, and the hot path allocates ~zero.
+//
+// Ownership discipline: exactly one owner per packet at any time. Get
+// transfers ownership to the caller; pushing a packet (or a batch)
+// transfers it downstream; whoever terminates a packet's life — and only
+// that element — may Put it back. A Put packet must not be touched
+// again: the pool will hand its buffer to the next Get, which resets
+// metadata and zeroes the data. Double Puts are detected and ignored
+// (and counted) rather than corrupting the freelist.
+//
+// Pool is safe for concurrent use; the discrete-event simulator runs
+// single-threaded, but the live Runner (cmd/rbrouter) pushes from one
+// goroutine per core.
+type Pool struct {
+	mu      sync.Mutex
+	free    []*Packet
+	maxFree int
+
+	gets       uint64 // Get calls
+	hits       uint64 // Gets served from the freelist
+	puts       uint64 // packets accepted back
+	doublePuts uint64 // Puts of an already-pooled packet (ignored)
+}
+
+// DefaultPool backs pkt.New, Clone, and every element recycler that is
+// not given an explicit pool.
+var DefaultPool = NewPool(4096)
+
+// NewPool returns a pool retaining at most maxFree idle packets
+// (minimum 1); excess Puts are released to the garbage collector.
+func NewPool(maxFree int) *Pool {
+	if maxFree < 1 {
+		maxFree = 1
+	}
+	return &Pool{maxFree: maxFree}
+}
+
+// Get returns a packet with Data sized to size bytes, zero-filled, and
+// all metadata reset — indistinguishable from a freshly allocated one.
+func (pl *Pool) Get(size int) *Packet {
+	p := pl.getRaw(size)
+	clear(p.Data)
+	return p
+}
+
+// getRaw is Get without the zero fill, for callers (Clone) that
+// immediately overwrite every byte.
+func (pl *Pool) getRaw(size int) *Packet {
+	pl.mu.Lock()
+	pl.gets++
+	var p *Packet
+	if n := len(pl.free); n > 0 {
+		p = pl.free[n-1]
+		pl.free[n-1] = nil
+		pl.free = pl.free[:n-1]
+		pl.hits++
+	}
+	pl.mu.Unlock()
+	if p == nil || cap(p.Data) < size {
+		// Size fresh buffers to hold any standard frame so one pooled
+		// packet can serve every workload's packet-size mix.
+		bufCap := size
+		if bufCap < MaxSize {
+			bufCap = MaxSize
+		}
+		buf := make([]byte, size, bufCap)
+		if p == nil {
+			return &Packet{Data: buf}
+		}
+		*p = Packet{Data: buf}
+		return p
+	}
+	data := p.Data[:size]
+	*p = Packet{Data: data}
+	return p
+}
+
+// Put returns a packet to the freelist. nil and double Puts are ignored.
+func (pl *Pool) Put(p *Packet) {
+	if p == nil {
+		return
+	}
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	if p.pooled {
+		pl.doublePuts++
+		return
+	}
+	pl.puts++
+	if len(pl.free) >= pl.maxFree {
+		return // let the GC have it
+	}
+	p.pooled = true
+	pl.free = append(pl.free, p)
+}
+
+// PutBatch Takes every remaining packet out of b and Puts it, then
+// resets b — the terminal move for a batch that is being dropped whole.
+func (pl *Pool) PutBatch(b *Batch) {
+	for i, p := range b.Packets() {
+		if p != nil {
+			b.Drop(i)
+			pl.Put(p)
+		}
+	}
+	b.Reset()
+}
+
+// FreeLen reports how many packets are idle in the pool.
+func (pl *Pool) FreeLen() int {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return len(pl.free)
+}
+
+// Stats reports (gets, freelist hits, puts, ignored double puts).
+func (pl *Pool) Stats() (gets, hits, puts, doublePuts uint64) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.gets, pl.hits, pl.puts, pl.doublePuts
+}

@@ -1,0 +1,138 @@
+package pkt
+
+import (
+	"net/netip"
+	"testing"
+)
+
+func TestPoolReuseReturnsZeroedRightSizedBuffers(t *testing.T) {
+	pl := NewPool(16)
+	p := pl.Get(128)
+	if len(p.Data) != 128 {
+		t.Fatalf("Get(128) len = %d", len(p.Data))
+	}
+	// Dirty every byte and all metadata, then recycle.
+	for i := range p.Data {
+		p.Data[i] = 0xAB
+	}
+	p.SeqNo = 42
+	p.VLBPhase = 2
+	p.Paint = 7
+	p.NextHop = 3
+	p.Arrival = 999
+	p.InputPort = 5
+	p.FlowID = 0xDEAD
+	pl.Put(p)
+	if pl.FreeLen() != 1 {
+		t.Fatalf("FreeLen = %d after Put", pl.FreeLen())
+	}
+
+	q := pl.Get(64)
+	if q != p {
+		t.Fatal("pool did not reuse the freed packet")
+	}
+	if len(q.Data) != 64 {
+		t.Fatalf("reused packet len = %d, want 64", len(q.Data))
+	}
+	for i, v := range q.Data {
+		if v != 0 {
+			t.Fatalf("reused byte %d = %#x, want zero", i, v)
+		}
+	}
+	if q.SeqNo != 0 || q.VLBPhase != 0 || q.Paint != 0 || q.NextHop != 0 ||
+		q.Arrival != 0 || q.InputPort != 0 || q.FlowID != 0 {
+		t.Fatalf("reused packet metadata not reset: %+v", q)
+	}
+	gets, hits, puts, _ := pl.Stats()
+	if gets != 2 || hits != 1 || puts != 1 {
+		t.Fatalf("stats = gets %d hits %d puts %d", gets, hits, puts)
+	}
+}
+
+func TestPoolGrowsBufferOnDemand(t *testing.T) {
+	pl := NewPool(16)
+	p := pl.Get(64)
+	pl.Put(p)
+	big := pl.Get(MaxSize + 100) // larger than the pooled MaxSize buffer
+	if len(big.Data) != MaxSize+100 {
+		t.Fatalf("len = %d", len(big.Data))
+	}
+	pl.Put(big)
+	// The regrown buffer is retained and can serve standard sizes again.
+	q := pl.Get(MinSize)
+	if q != big || len(q.Data) != MinSize {
+		t.Fatalf("reuse after grow failed: same=%v len=%d", q == big, len(q.Data))
+	}
+}
+
+func TestPoolDoublePutIgnored(t *testing.T) {
+	pl := NewPool(16)
+	p := pl.Get(64)
+	pl.Put(p)
+	pl.Put(p) // must not land on the freelist twice
+	if pl.FreeLen() != 1 {
+		t.Fatalf("FreeLen = %d after double Put", pl.FreeLen())
+	}
+	_, _, _, doubles := pl.Stats()
+	if doubles != 1 {
+		t.Fatalf("doublePuts = %d, want 1", doubles)
+	}
+	a := pl.Get(64)
+	b := pl.Get(64)
+	if a == b {
+		t.Fatal("double Put handed one packet out twice")
+	}
+	pl.Put(nil) // nil Put is a no-op
+}
+
+func TestPoolMaxFreeBounded(t *testing.T) {
+	pl := NewPool(2)
+	for i := 0; i < 5; i++ {
+		pl.Put(pl.Get(64))
+	}
+	if pl.FreeLen() > 2 {
+		t.Fatalf("FreeLen = %d, want ≤ 2", pl.FreeLen())
+	}
+}
+
+func TestPoolPutBatch(t *testing.T) {
+	pl := NewPool(16)
+	b := NewBatch(4)
+	for i := 0; i < 3; i++ {
+		b.Add(pl.Get(64))
+	}
+	pl.PutBatch(b)
+	if b.Len() != 0 {
+		t.Fatalf("batch len = %d after PutBatch", b.Len())
+	}
+	if pl.FreeLen() != 3 {
+		t.Fatalf("FreeLen = %d, want 3", pl.FreeLen())
+	}
+}
+
+func TestNewAndCloneDrawFromDefaultPool(t *testing.T) {
+	src := netip.MustParseAddr("10.0.0.1")
+	dst := netip.MustParseAddr("10.1.0.1")
+	p := New(96, src, dst, 1, 2)
+	p.Data[80] = 0x5A
+	DefaultPool.Put(p)
+	q := New(96, src, dst, 1, 2) // must reuse p's buffer, rebuilt cleanly
+	if q.Data[80] != 0 {
+		t.Fatal("recycled payload byte leaked into New")
+	}
+	if q.IPv4().Dst() != dst || !q.IPv4().VerifyChecksum() {
+		t.Fatal("New over recycled buffer built a bad header")
+	}
+
+	c := q.Clone()
+	if c == q {
+		t.Fatal("Clone returned the original")
+	}
+	if string(c.Data) != string(q.Data) {
+		t.Fatal("Clone data mismatch")
+	}
+	c.Data[20] ^= 0xFF
+	if q.Data[20] == c.Data[20] {
+		t.Fatal("Clone shares storage with original")
+	}
+}
