@@ -22,6 +22,11 @@ vet:
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -count $(COUNT) .
 
-# Quick smoke for CI: every benchmark once, 100 iterations max.
+# Quick smoke for CI: the headline benchmarks once, 100 iterations max,
+# with the -benchmem output kept on disk (CI uploads it as an artifact).
+# Redirect-then-cat rather than tee so a benchmark failure fails the
+# target (a pipe would return tee's status, not go test's).
+BENCH_OUT ?= bench-smoke.txt
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkDispatch|BenchmarkServerModel' -benchmem -benchtime 100x .
+	$(GO) test -run '^$$' -bench 'BenchmarkDispatch|BenchmarkServerModel|BenchmarkPlacement' -benchmem -benchtime 100x . > $(BENCH_OUT) 2>&1; \
+	status=$$?; cat $(BENCH_OUT); exit $$status

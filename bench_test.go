@@ -10,13 +10,17 @@
 package routebricks
 
 import (
+	"fmt"
 	"net/netip"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"routebricks/internal/click"
 	"routebricks/internal/elements"
+	"routebricks/internal/exec"
 	"routebricks/internal/experiments"
 	"routebricks/internal/hw"
 	"routebricks/internal/lpm"
@@ -245,6 +249,162 @@ func BenchmarkDispatch(b *testing.B) {
 
 	b.Run("perPacket", func(b *testing.B) { run(b, false) })
 	b.Run("batch", func(b *testing.B) { run(b, true) })
+}
+
+// placementSink terminates a placement-benchmark chain: it counts the
+// delivery and returns the packet to the chain's free ring so the
+// producer can re-inject it — a closed loop with zero steady-state
+// allocation. The sink runs on the chain's last core, which makes it
+// the single producer of the free ring.
+type placementSink struct {
+	free      *exec.Ring
+	delivered *atomic.Uint64
+	lost      *atomic.Uint64
+}
+
+func (s *placementSink) InPorts() int  { return 1 }
+func (s *placementSink) OutPorts() int { return 0 }
+
+func (s *placementSink) Push(_ *click.Context, _ int, p *pkt.Packet) {
+	s.delivered.Add(1)
+	if !s.free.Push(p) {
+		s.lost.Add(1)
+	}
+}
+
+func (s *placementSink) PushBatch(_ *click.Context, _ int, b *pkt.Batch) {
+	n := b.Compact()
+	if n == 0 {
+		return
+	}
+	s.delivered.Add(uint64(n))
+	got := s.free.PushBatch(b)
+	if got < n {
+		s.lost.Add(uint64(n - got))
+	}
+	b.Reset()
+}
+
+// BenchmarkPlacement is the §4.2 core-allocation experiment as a real
+// multi-core code path: the standard IP forwarding pipeline
+// (CheckIPHeader → LPMLookup → DecIPTTL) materialized by the placement
+// planner as either a Parallel plan (each core runs the whole pipeline
+// on its own input ring) or a Pipelined plan (stages cut across cores,
+// joined by SPSC handoff rings), driven on real goroutines by the
+// click Runner. One op is one 64-byte packet moved source→sink, so the
+// Mpps metric compares directly across kinds and core counts. The
+// paper's finding — parallel ≥ pipelined, because inter-core handoffs
+// dominate — should reproduce at every core count.
+func BenchmarkPlacement(b *testing.B) {
+	for _, cores := range []int{1, 2, 4, 8} {
+		for _, kind := range []click.PlanKind{click.Parallel, click.Pipelined} {
+			b.Run(fmt.Sprintf("%s/cores=%d", kind, cores), func(b *testing.B) {
+				runPlacement(b, kind, cores)
+			})
+		}
+	}
+}
+
+func runPlacement(b *testing.B, kind click.PlanKind, cores int) {
+	const kp = 32
+	const workset = 512 // in-flight packets per chain
+	table := lpm.NewDir248()
+	if err := table.Insert(netip.MustParsePrefix("10.0.0.0/16"), 1); err != nil {
+		b.Fatal(err)
+	}
+	table.Freeze()
+
+	var delivered, lost atomic.Uint64
+	drop := func(_ *click.Context, p *pkt.Packet) {
+		lost.Add(1)
+		pkt.DefaultPool.Put(p)
+	}
+	stages := []click.StageSpec{
+		{Name: "check", Make: func(int) click.StageInstance {
+			e := &elements.CheckIPHeader{}
+			e.SetOutput(1, drop)
+			return click.StageInstance{Entry: e}
+		}},
+		{Name: "route", Make: func(int) click.StageInstance {
+			e := elements.NewLPMLookup(table)
+			e.SetOutput(1, drop)
+			return click.StageInstance{Entry: e}
+		}},
+		{Name: "ttl", Make: func(int) click.StageInstance {
+			e := &elements.DecIPTTL{}
+			e.SetOutput(1, drop)
+			return click.StageInstance{Entry: e}
+		}},
+	}
+	var frees []*exec.Ring
+	plan, err := click.NewPlan(click.PlanConfig{
+		Kind: kind, Cores: cores, KP: kp, Stages: stages,
+		Sink: func(int) click.Element {
+			s := &placementSink{free: exec.NewRing(workset), delivered: &delivered, lost: &lost}
+			frees = append(frees, s.free)
+			return s
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := netip.MustParseAddr("10.1.0.1")
+	dst := netip.MustParseAddr("10.0.0.2")
+	for chain := 0; chain < plan.Chains(); chain++ {
+		for j := 0; j < workset; j++ {
+			p := pkt.New(pkt.MinSize, src, dst, uint16(1000+j), 80)
+			p.IPv4().SetTTL(64)
+			p.IPv4().UpdateChecksum()
+			frees[chain].Push(p)
+		}
+	}
+	if err := plan.Start(); err != nil {
+		b.Fatal(err)
+	}
+	scratch := pkt.NewBatch(kp)
+	b.ReportAllocs()
+	b.ResetTimer()
+	remaining := b.N
+	for chain := 0; remaining > 0; chain = (chain + 1) % plan.Chains() {
+		limit := kp
+		if remaining < limit {
+			limit = remaining
+		}
+		// Both rings below belong to this goroutine (sole producer of the
+		// input, sole consumer of the free ring), so Free() is exact
+		// enough to make every push land.
+		if room := plan.Input(chain).Free(); room < limit {
+			limit = room
+		}
+		if limit == 0 {
+			runtime.Gosched()
+			continue
+		}
+		scratch.Reset()
+		n := frees[chain].PopBatchInto(scratch, limit)
+		if n == 0 {
+			runtime.Gosched()
+			continue
+		}
+		for _, p := range scratch.Packets() {
+			// The previous trip decremented the TTL; restore it so the
+			// packet is route-valid forever.
+			ih := p.IPv4()
+			ih.SetTTL(64)
+			ih.UpdateChecksum()
+		}
+		plan.Input(chain).PushBatch(scratch)
+		remaining -= n
+	}
+	for delivered.Load()+lost.Load() < uint64(b.N) {
+		runtime.Gosched()
+	}
+	b.StopTimer()
+	plan.Stop()
+	if got := lost.Load() + plan.Drops(); got != 0 {
+		b.Fatalf("%d packets lost in a loss-free benchmark", got)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
 }
 
 // Single-server MaxRate microbenchmark: the whole bottleneck analysis is

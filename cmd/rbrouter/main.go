@@ -6,12 +6,18 @@
 //
 // It demonstrates the programmability claim of the paper: the datapath
 // is the same handful of Click-style elements, re-hosted from the
-// simulator onto kernel UDP I/O without modification.
+// simulator onto kernel UDP I/O without modification. Each node's
+// datapath is materialized by the click placement planner: -cores picks
+// the core count and -placement the §4.2 allocation (parallel = every
+// core runs the whole CheckIPHeader→LPMLookup→DecIPTTL→VLB pipeline on
+// its own queue; pipelined = the pipeline is cut into stages joined by
+// SPSC handoff rings), driven on real goroutines by the click Runner.
 //
 // Usage:
 //
 //	rbrouter                      # 4-node demo, 20000 packets
 //	rbrouter -nodes 6 -packets 50000 -flowlets=false
+//	rbrouter -cores 4 -placement pipelined
 package main
 
 import (
@@ -24,8 +30,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"routebricks/internal/click"
+	"routebricks/internal/elements"
 	"routebricks/internal/lpm"
-	"routebricks/internal/nic"
 	"routebricks/internal/pcap"
 	"routebricks/internal/pkt"
 	"routebricks/internal/sim"
@@ -38,7 +45,9 @@ func nowVirtual() sim.Time { return sim.Time(time.Now().UnixNano()) }
 
 // node is one cluster server backed by two UDP sockets: ext receives
 // line traffic and emits egress frames to the collector; int carries
-// mesh links to peers.
+// mesh links to peers. Its datapath is two placement plans — ingress
+// (full routing path) and transit (MAC-only forwarding) — whose input
+// rings the socket readers feed.
 type node struct {
 	id    int
 	n     int
@@ -47,11 +56,8 @@ type node struct {
 	peers []*net.UDPAddr // internal socket address of each node
 	sink  *net.UDPAddr   // collector
 
-	table *lpm.Dir248
-	bal   *vlb.Balancer
-
-	extPort *nic.Port // rx rings for line traffic
-	intPort *nic.Port // rx rings for mesh traffic (MAC-steered)
+	ingress *click.Plan
+	transit *click.Plan
 
 	stop atomic.Bool
 	wg   sync.WaitGroup
@@ -59,9 +65,11 @@ type node struct {
 	forwarded atomic.Uint64
 	egressed  atomic.Uint64
 	routeMiss atomic.Uint64
+	hdrDrops  atomic.Uint64
+	rxDrops   atomic.Uint64
 }
 
-func newNode(id, n int, table *lpm.Dir248, flowlets bool) (*node, error) {
+func newNode(id, n int, table *lpm.Dir248, flowlets bool, cores int, kind click.PlanKind) (*node, error) {
 	ext, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
 		return nil, err
@@ -70,26 +78,139 @@ func newNode(id, n int, table *lpm.Dir248, flowlets bool) (*node, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &node{
+	nd := &node{
 		id: id, n: n, ext: ext, int_: intc,
 		peers: make([]*net.UDPAddr, n),
-		table: table,
-		bal: vlb.New(vlb.Config{
-			Nodes: n, Self: id,
-			LineRateBps: 1e9, // demo-scale line rate for the quota clock
-			LinkCapBps:  1e9,
-			Flowlets:    flowlets,
-			Seed:        int64(id) + 1,
-		}),
-		extPort: nic.NewPort(id*10, nic.Config{RXQueues: 1, QueueSize: 4096}),
-		intPort: nic.NewPort(id*10+1, nic.Config{RXQueues: 1, QueueSize: 4096, Steering: nic.SteerMAC}),
-	}, nil
+	}
+
+	// Terminal error paths: the element dropping the packet is its last
+	// owner, so the buffer goes straight back to the pool.
+	dropHdr := func(_ *click.Context, p *pkt.Packet) {
+		nd.hdrDrops.Add(1)
+		pkt.DefaultPool.Put(p)
+	}
+	dropMiss := func(_ *click.Context, p *pkt.Packet) {
+		nd.routeMiss.Add(1)
+		pkt.DefaultPool.Put(p)
+	}
+
+	// The ingress pipeline, declared as placement stages. Make runs once
+	// per chain: the parallel plan clones the whole pipeline per core,
+	// the pipelined plan builds it once per chain and cuts it across
+	// cores. Each chain gets its own VLB balancer — the balancer is
+	// single-threaded by contract, and a chain's forward stage runs on
+	// exactly one core.
+	ingressStages := []click.StageSpec{
+		{Name: "check", Make: func(int) click.StageInstance {
+			check := &elements.CheckIPHeader{}
+			check.SetOutput(1, dropHdr)
+			return click.StageInstance{Entry: check}
+		}},
+		{Name: "route", Make: func(int) click.StageInstance {
+			look := elements.NewLPMLookup(table)
+			look.SetOutput(1, dropMiss)
+			return click.StageInstance{Entry: look}
+		}},
+		{Name: "forward", Make: func(chain int) click.StageInstance {
+			fwd := &udpForward{nd: nd, bal: vlb.New(vlb.Config{
+				Nodes: n, Self: id,
+				LineRateBps: 1e9, // demo-scale line rate for the quota clock
+				LinkCapBps:  1e9,
+				Flowlets:    flowlets,
+				Seed:        int64(id)*64 + int64(chain) + 1,
+			})}
+			ttl := &elements.DecIPTTL{}
+			ttl.SetOutput(0, func(ctx *click.Context, p *pkt.Packet) { fwd.Push(ctx, 0, p) })
+			ttl.SetBatchOutput(0, click.BatchDispatch(fwd, 0))
+			ttl.SetOutput(1, dropHdr)
+			return click.StageInstance{Entry: ttl, Exit: fwd}
+		}},
+	}
+	nd.ingress, err = click.NewPlan(click.PlanConfig{
+		Kind: kind, Cores: cores, Stages: ingressStages, KP: 32, InputCap: 4096,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Transit traffic moves by MAC only — a single stage, so parallel is
+	// the only sensible allocation regardless of -placement.
+	nd.transit, err = click.NewPlan(click.PlanConfig{
+		Kind:  click.Parallel,
+		Cores: cores,
+		Stages: []click.StageSpec{
+			{Name: "transit", Make: func(int) click.StageInstance {
+				return click.StageInstance{Entry: &udpTransit{nd: nd}}
+			}},
+		},
+		KP: 32, InputCap: 4096,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return nd, nil
 }
 
-// reader pulls UDP datagrams into a port's receive ring.
-func (nd *node) reader(conn *net.UDPConn, port *nic.Port) {
+// udpForward is the terminal ingress element: it rewrites the steering
+// MACs, consults its chain's VLB balancer, and emits the frame on the
+// node's sockets. It replaces the hand-rolled worker loop the planner
+// rehosted.
+type udpForward struct {
+	click.Base
+	nd  *node
+	bal *vlb.Balancer
+}
+
+// InPorts reports 1.
+func (f *udpForward) InPorts() int { return 1 }
+
+// OutPorts reports 0: the socket is the output.
+func (f *udpForward) OutPorts() int { return 0 }
+
+// Push routes the packet into the cluster.
+func (f *udpForward) Push(_ *click.Context, _ int, p *pkt.Packet) {
+	nd := f.nd
+	out := p.NextHop // resolved by LPMLookup
+	p.Ether().SetSrc(pkt.NodeMAC(nd.id))
+	p.Ether().SetDst(pkt.NodeMAC(out))
+	if out == nd.id {
+		nd.egress(p)
+		return
+	}
+	d := f.bal.Route(nowVirtual(), p, out)
+	nd.send(d.Next, p)
+}
+
+// udpTransit is the terminal transit element: mesh packets move by MAC
+// only, to the external wire or the next node.
+type udpTransit struct {
+	click.Base
+	nd *node
+}
+
+// InPorts reports 1.
+func (t *udpTransit) InPorts() int { return 1 }
+
+// OutPorts reports 0.
+func (t *udpTransit) OutPorts() int { return 0 }
+
+// Push forwards without header processing.
+func (t *udpTransit) Push(_ *click.Context, _ int, p *pkt.Packet) {
+	out := p.Ether().Dst().Node()
+	if out == t.nd.id {
+		t.nd.egress(p)
+		return
+	}
+	t.nd.send(out, p)
+}
+
+// reader pulls UDP datagrams into the plan's per-chain input rings,
+// steering by flow hash — the RSS role. One reader per socket keeps
+// each input ring single-producer.
+func (nd *node) reader(conn *net.UDPConn, plan *click.Plan) {
 	defer nd.wg.Done()
 	buf := make([]byte, 2048)
+	chains := uint64(plan.Chains())
 	for !nd.stop.Load() {
 		conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
 		m, _, err := conn.ReadFromUDP(buf)
@@ -99,102 +220,78 @@ func (nd *node) reader(conn *net.UDPConn, port *nic.Port) {
 		if m < pkt.EtherHdrLen+pkt.IPv4HdrLen {
 			continue
 		}
-		p := &pkt.Packet{Data: append([]byte(nil), buf[:m]...)}
-		port.Deliver(p)
-	}
-}
-
-// worker is the node's datapath core: it polls both rings and runs the
-// ingress/transit logic. One worker per node keeps the balancer
-// single-threaded, matching its contract.
-func (nd *node) worker() {
-	defer nd.wg.Done()
-	batch := make([]*pkt.Packet, 32)
-	for !nd.stop.Load() {
-		work := 0
-		// Ingress: line traffic needs the full routing path.
-		k := nd.extPort.RX(0).DequeueBatch(batch)
-		for i := 0; i < k; i++ {
-			nd.ingress(batch[i])
-		}
-		work += k
-		// Transit/egress: mesh traffic moves by MAC only.
-		k = nd.intPort.RX(0).DequeueBatch(batch)
-		for i := 0; i < k; i++ {
-			nd.transit(batch[i])
-		}
-		work += k
-		if work == 0 {
-			time.Sleep(200 * time.Microsecond)
+		p := pkt.DefaultPool.Get(m)
+		copy(p.Data, buf[:m])
+		if !plan.Input(int(p.FlowHash() % chains)).Push(p) {
+			// Receive ring overflow: the reader is the packet's last owner.
+			nd.rxDrops.Add(1)
+			pkt.DefaultPool.Put(p)
 		}
 	}
 }
 
-func (nd *node) ingress(p *pkt.Packet) {
-	ih := p.IPv4()
-	if !ih.VerifyChecksum() || !ih.DecTTL() {
-		nd.routeMiss.Add(1)
-		return
-	}
-	out := nd.table.Lookup(ih.DstUint32())
-	if out == lpm.NoRoute {
-		nd.routeMiss.Add(1)
-		return
-	}
-	p.Ether().SetSrc(pkt.NodeMAC(nd.id))
-	p.Ether().SetDst(pkt.NodeMAC(out))
-	if out == nd.id {
-		nd.egress(p)
-		return
-	}
-	d := nd.bal.Route(nowVirtual(), p, out)
-	nd.send(d.Next, p)
-}
-
-func (nd *node) transit(p *pkt.Packet) {
-	out := p.Ether().Dst().Node()
-	if out == nd.id {
-		nd.egress(p)
-		return
-	}
-	nd.send(out, p)
-}
-
+// send emits the frame to a peer node; the socket copies the bytes, so
+// the buffer recycles immediately.
 func (nd *node) send(to int, p *pkt.Packet) {
 	nd.forwarded.Add(1)
 	nd.int_.WriteToUDP(p.Data, nd.peers[to])
+	pkt.DefaultPool.Put(p)
 }
 
+// egress emits the frame on the external wire (to the collector).
 func (nd *node) egress(p *pkt.Packet) {
 	nd.egressed.Add(1)
 	nd.ext.WriteToUDP(p.Data, nd.sink)
+	pkt.DefaultPool.Put(p)
 }
 
-func (nd *node) start() {
-	nd.wg.Add(3)
-	go nd.reader(nd.ext, nd.extPort)
-	go nd.reader(nd.int_, nd.intPort)
-	go nd.worker()
+func (nd *node) start() error {
+	if err := nd.ingress.Start(); err != nil {
+		return err
+	}
+	if err := nd.transit.Start(); err != nil {
+		return err
+	}
+	nd.wg.Add(2)
+	go nd.reader(nd.ext, nd.ingress)
+	go nd.reader(nd.int_, nd.transit)
+	return nil
 }
 
 func (nd *node) shutdown() {
 	nd.stop.Store(true)
 	nd.wg.Wait()
+	nd.ingress.Stop()
+	nd.transit.Stop()
 	nd.ext.Close()
 	nd.int_.Close()
 }
 
 func run() error {
 	var (
-		nNodes   = flag.Int("nodes", 4, "cluster size")
-		packets  = flag.Int("packets", 20000, "packets to inject")
-		rate     = flag.Int("rate", 40000, "injection rate (packets/sec)")
-		flowlets = flag.Bool("flowlets", true, "enable flowlet reordering avoidance")
-		pcapPath = flag.String("pcap", "", "capture egress traffic to this pcap file")
+		nNodes    = flag.Int("nodes", 4, "cluster size")
+		packets   = flag.Int("packets", 20000, "packets to inject")
+		rate      = flag.Int("rate", 40000, "injection rate (packets/sec)")
+		flowlets  = flag.Bool("flowlets", true, "enable flowlet reordering avoidance")
+		cores     = flag.Int("cores", 1, "datapath cores per node")
+		placement = flag.String("placement", "parallel", "core allocation: parallel or pipelined")
+		pcapPath  = flag.String("pcap", "", "capture egress traffic to this pcap file")
 	)
 	flag.Parse()
 	if *nNodes < 2 || *nNodes > 64 {
 		return fmt.Errorf("nodes must be in [2,64]")
+	}
+	if *cores < 1 || *cores > 64 {
+		return fmt.Errorf("cores must be in [1,64]")
+	}
+	var kind click.PlanKind
+	switch *placement {
+	case "parallel":
+		kind = click.Parallel
+	case "pipelined":
+		kind = click.Pipelined
+	default:
+		return fmt.Errorf("placement must be parallel or pipelined, got %q", *placement)
 	}
 	var capture *pcap.Writer
 	if *pcapPath != "" {
@@ -226,7 +323,7 @@ func run() error {
 
 	nodes := make([]*node, *nNodes)
 	for i := range nodes {
-		if nodes[i], err = newNode(i, *nNodes, table, *flowlets); err != nil {
+		if nodes[i], err = newNode(i, *nNodes, table, *flowlets, *cores, kind); err != nil {
 			return err
 		}
 	}
@@ -237,10 +334,13 @@ func run() error {
 		}
 	}
 	for _, nd := range nodes {
-		nd.start()
+		if err := nd.start(); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("rbrouter: %d nodes meshed over UDP, injecting %d packets at %d pps (flowlets=%v)\n",
 		*nNodes, *packets, *rate, *flowlets)
+	fmt.Printf("per-node ingress placement: %s", nodes[0].ingress.Describe())
 
 	// Collector: count deliveries and measure reordering.
 	meter := stats.NewReorderMeter()
@@ -307,16 +407,19 @@ func run() error {
 		nd.shutdown()
 	}
 
-	var forwarded, egressed, miss uint64
+	var forwarded, egressed, miss, hdr, rxd uint64
 	for _, nd := range nodes {
 		forwarded += nd.forwarded.Load()
 		egressed += nd.egressed.Load()
 		miss += nd.routeMiss.Load()
+		hdr += nd.hdrDrops.Load()
+		rxd += nd.rxDrops.Load()
 	}
 	fmt.Printf("delivered %d/%d packets in %v (%.0f pps through the mesh)\n",
 		received.Load(), *packets, elapsed.Round(time.Millisecond),
 		float64(received.Load())/elapsed.Seconds())
-	fmt.Printf("internal forwards: %d, route misses: %d\n", forwarded, miss)
+	fmt.Printf("internal forwards: %d, route misses: %d, header drops: %d, rx-ring drops: %d\n",
+		forwarded, miss, hdr, rxd)
 	fmt.Printf("reordering: %s\n", meter)
 	if received.Load() < uint64(*packets)*95/100 {
 		return fmt.Errorf("lost more than 5%% of packets")

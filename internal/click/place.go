@@ -1,0 +1,438 @@
+package click
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"routebricks/internal/exec"
+	"routebricks/internal/pkt"
+)
+
+// This file is the placement planner: it takes a linear element pipeline
+// plus a core count and materializes the paper's two §4.2 core
+// allocations as runnable plans.
+//
+//   - Parallel ("one core per queue, one core per packet"): every core
+//     gets its own clone of the full pipeline and its own input ring; a
+//     packet is touched by exactly one core from poll to transmit.
+//   - Pipelined: the pipeline is cut into stages, each stage pinned to
+//     its own core, consecutive stages connected by exec.Ring SPSC
+//     handoff rings. Every stage boundary is a cross-core cache-line
+//     handoff — the cost the paper measured to conclude that parallel
+//     wins.
+//
+// A plan can be driven two ways: Start/Stop spins up the hardened
+// Runner (one goroutine per core, real parallelism), while RunStep
+// executes one core's quantum synchronously — the hook the cluster
+// simulator and deterministic tests use to run the same plan types on
+// virtual cores.
+
+// PlanKind selects the §4.2 core allocation.
+type PlanKind int
+
+const (
+	// Parallel clones the full pipeline onto every core.
+	Parallel PlanKind = iota
+	// Pipelined cuts the pipeline into per-core stages joined by SPSC
+	// handoff rings.
+	Pipelined
+)
+
+// String names the allocation as the paper does.
+func (k PlanKind) String() string {
+	switch k {
+	case Parallel:
+		return "parallel"
+	case Pipelined:
+		return "pipelined"
+	}
+	return fmt.Sprintf("PlanKind(%d)", int(k))
+}
+
+// StageInstance is one materialized pipeline stage. Entry receives
+// traffic on input port 0; Exit is the element whose output port 0 the
+// planner wires to the next stage (nil means the stage is a single
+// element and Exit == Entry). A stage's internal error ports (bad
+// headers, route misses) are the stage builder's responsibility — wire
+// them to recycling Discards inside Make; the planner only routes the
+// good path.
+type StageInstance struct {
+	Entry Element
+	Exit  Element
+}
+
+// exit resolves the element the planner wires downstream from.
+func (si StageInstance) exit() Element {
+	if si.Exit != nil {
+		return si.Exit
+	}
+	return si.Entry
+}
+
+// StageSpec declares one stage of the logical pipeline. Make must
+// return a fresh, independent instance per call: the Parallel plan
+// calls it once per core (clone), the Pipelined plan once per chain.
+// chain identifies which replica the instance belongs to, so stages
+// can key per-replica state (a per-core VLB balancer, a per-core
+// counter) off it.
+type StageSpec struct {
+	Name string
+	Make func(chain int) StageInstance
+}
+
+// PlanConfig parameterizes a placement plan.
+type PlanConfig struct {
+	Kind   PlanKind
+	Cores  int
+	Stages []StageSpec
+
+	// KP is the poll batch size (default 32, the paper's tuned kp).
+	KP int
+	// InputCap sizes each chain's input ring (default 4096).
+	InputCap int
+	// HandoffCap sizes each inter-stage handoff ring (default 1024).
+	HandoffCap int
+	// Sink, when non-nil, builds a terminal element per chain and wires
+	// it after the last stage. When nil the last stage must be terminal
+	// (OutPorts 0) or its output is dropped silently.
+	Sink func(chain int) Element
+}
+
+// CoreStat is the per-core counter block of a running plan. The fields
+// are atomics because the Runner's goroutines write them while
+// observers read.
+type CoreStat struct {
+	Core   int    // schedule core index
+	Chain  int    // which pipeline replica this core serves
+	Stages string // stage names executing on this core, "+"-joined
+
+	packets  atomic.Uint64 // packets pulled into this core
+	polls    atomic.Uint64 // poll attempts
+	empty    atomic.Uint64 // polls that moved nothing
+	handoffs atomic.Uint64 // batches pushed onward to another core
+}
+
+// Packets reports packets this core pulled from its upstream ring.
+func (s *CoreStat) Packets() uint64 { return s.packets.Load() }
+
+// Polls reports poll attempts; Empty the ones that moved nothing.
+func (s *CoreStat) Polls() uint64 { return s.polls.Load() }
+
+// Empty reports empty polls.
+func (s *CoreStat) Empty() uint64 { return s.empty.Load() }
+
+// Handoffs reports batches this core pushed into a downstream handoff
+// ring (always 0 for parallel plans and final stages).
+func (s *CoreStat) Handoffs() uint64 { return s.handoffs.Load() }
+
+// Plan is a materialized core allocation: elements built and wired,
+// rings allocated, tasks bound to schedule cores.
+type Plan struct {
+	kind   PlanKind
+	cores  int
+	chains int
+	sched  *Schedule
+	runner *Runner
+
+	inputs   []*exec.Ring // one per chain; callers feed these
+	handoffs []*exec.Ring // pipelined only: all inter-stage rings
+	stats    []*CoreStat
+	// lost counts packets the plan itself recycled because a handoff
+	// ring rejected them — possible only when a stage emits more packets
+	// than it polled, since polling is capped by downstream free space.
+	lost atomic.Uint64
+}
+
+// NewPlan materializes a placement plan. Parallel uses every core as an
+// independent chain. Pipelined groups the stages onto G = min(cores,
+// stages) consecutive cores per chain and replicates the chain
+// cores/G times; cores beyond chains×G are left idle (they appear in
+// the schedule with no tasks).
+func NewPlan(cfg PlanConfig) (*Plan, error) {
+	if cfg.Cores < 1 {
+		return nil, fmt.Errorf("click: plan needs at least 1 core, got %d", cfg.Cores)
+	}
+	if len(cfg.Stages) == 0 {
+		return nil, fmt.Errorf("click: plan needs at least 1 stage")
+	}
+	for i, st := range cfg.Stages {
+		if st.Make == nil {
+			return nil, fmt.Errorf("click: stage %d (%q) has nil Make", i, st.Name)
+		}
+	}
+	if cfg.KP <= 0 {
+		cfg.KP = 32
+	}
+	if cfg.InputCap <= 0 {
+		cfg.InputCap = 4096
+	}
+	if cfg.HandoffCap <= 0 {
+		cfg.HandoffCap = 1024
+	}
+
+	p := &Plan{kind: cfg.Kind, cores: cfg.Cores, sched: NewSchedule(cfg.Cores)}
+	switch cfg.Kind {
+	case Parallel:
+		p.chains = cfg.Cores
+		for c := 0; c < cfg.Cores; c++ {
+			if err := p.buildChain(cfg, c, []int{c}); err != nil {
+				return nil, err
+			}
+		}
+	case Pipelined:
+		groups := min(cfg.Cores, len(cfg.Stages))
+		p.chains = cfg.Cores / groups
+		for ch := 0; ch < p.chains; ch++ {
+			coreSet := make([]int, groups)
+			for g := range coreSet {
+				coreSet[g] = ch*groups + g
+			}
+			if err := p.buildChain(cfg, ch, coreSet); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("click: unknown plan kind %d", int(cfg.Kind))
+	}
+	p.runner = NewRunner(p.sched)
+	return p, nil
+}
+
+// buildChain materializes one pipeline replica across the given cores:
+// all stages on one core for parallel chains, stages grouped
+// contiguously across len(cores) cores (joined by handoff rings) for
+// pipelined ones.
+func (p *Plan) buildChain(cfg PlanConfig, chain int, cores []int) error {
+	input := exec.NewRing(cfg.InputCap)
+	p.inputs = append(p.inputs, input)
+
+	// Build every stage instance and wire the intra-group connections;
+	// group boundaries get an SPSC handoff ring instead.
+	groups := len(cores)
+	bounds := groupBounds(len(cfg.Stages), groups)
+	instances := make([]StageInstance, len(cfg.Stages))
+	for i, st := range cfg.Stages {
+		instances[i] = st.Make(chain)
+		if instances[i].Entry == nil {
+			return fmt.Errorf("click: stage %q returned nil Entry", st.Name)
+		}
+	}
+
+	upstream := input
+	for g := 0; g < groups; g++ {
+		lo, hi := bounds[g], bounds[g+1]
+		// Wire stages within the group by direct synchronous dispatch.
+		for i := lo; i < hi-1; i++ {
+			if err := wireStage(instances[i].exit(), instances[i+1].Entry); err != nil {
+				return fmt.Errorf("click: stage %q: %w", cfg.Stages[i].Name, err)
+			}
+		}
+		var downstream *exec.Ring
+		last := instances[hi-1].exit()
+		if g < groups-1 {
+			// Cross-core boundary: the group's last stage emits into a
+			// handoff ring polled by the next core.
+			downstream = exec.NewRing(cfg.HandoffCap)
+			p.handoffs = append(p.handoffs, downstream)
+			if err := p.wireRing(last, downstream); err != nil {
+				return fmt.Errorf("click: stage %q: %w", cfg.Stages[hi-1].Name, err)
+			}
+		} else if cfg.Sink != nil {
+			sink := cfg.Sink(chain)
+			if sink == nil {
+				return fmt.Errorf("click: Sink(%d) returned nil", chain)
+			}
+			if err := wireStage(last, sink); err != nil {
+				return fmt.Errorf("click: sink for chain %d: %w", chain, err)
+			}
+		}
+
+		names := make([]string, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			names = append(names, cfg.Stages[i].Name)
+		}
+		stat := &CoreStat{Core: cores[g], Chain: chain, Stages: strings.Join(names, "+")}
+		p.stats = append(p.stats, stat)
+		p.sched.MustBind(cores[g], pollTask(upstream, downstream, instances[lo].Entry, cfg.KP, stat))
+		upstream = downstream
+	}
+	return nil
+}
+
+// pollTask builds the polling loop body for one core: pull up to kp
+// packets from upstream — capped by the downstream ring's free space so
+// a full handoff ring backpressures instead of dropping — and push them
+// through the core's stage group as one batch.
+func pollTask(upstream, downstream *exec.Ring, entry Element, kp int, stat *CoreStat) Task {
+	scratch := pkt.NewBatch(kp)
+	dispatch := BatchDispatch(entry, 0)
+	return TaskFunc(func(ctx *Context) int {
+		limit := kp
+		if downstream != nil {
+			if room := downstream.Free(); room < limit {
+				limit = room
+			}
+			if limit == 0 {
+				return 0 // downstream full: leave packets queued upstream
+			}
+		}
+		scratch.Reset()
+		n := upstream.PopBatchInto(scratch, limit)
+		stat.polls.Add(1)
+		if n == 0 {
+			stat.empty.Add(1)
+			return 0
+		}
+		stat.packets.Add(uint64(n))
+		if downstream != nil {
+			stat.handoffs.Add(1)
+		}
+		dispatch(ctx, scratch)
+		return n
+	})
+}
+
+// wireStage connects from's output port 0 to to's input port 0 on both
+// the batch and per-packet paths, exactly as Router.Connect does.
+func wireStage(from, to Element) error {
+	setter, ok := from.(OutputSetter)
+	if !ok {
+		return fmt.Errorf("element %T has no outputs", from)
+	}
+	setter.SetOutput(0, func(ctx *Context, p *pkt.Packet) { to.Push(ctx, 0, p) })
+	if bs, ok := from.(BatchOutputSetter); ok {
+		bs.SetBatchOutput(0, BatchDispatch(to, 0))
+	}
+	return nil
+}
+
+// wireRing connects from's output port 0 to an SPSC handoff ring. With
+// backpressure-capped polling the ring cannot overflow from pass-through
+// traffic; packets a stage *generates* beyond what it polled can still
+// overflow, in which case they are counted as plan losses and recycled.
+func (p *Plan) wireRing(from Element, ring *exec.Ring) error {
+	setter, ok := from.(OutputSetter)
+	if !ok {
+		return fmt.Errorf("element %T has no outputs", from)
+	}
+	setter.SetOutput(0, func(_ *Context, pk *pkt.Packet) {
+		if !ring.Push(pk) {
+			p.lost.Add(1)
+			pkt.DefaultPool.Put(pk)
+		}
+	})
+	if bs, ok := from.(BatchOutputSetter); ok {
+		bs.SetBatchOutput(0, func(_ *Context, b *pkt.Batch) {
+			ring.PushBatch(b)
+			if n := b.Len(); n > 0 {
+				p.lost.Add(uint64(n))
+				pkt.DefaultPool.PutBatch(b)
+			}
+			b.Reset()
+		})
+	}
+	return nil
+}
+
+// groupBounds splits n stages into g contiguous groups as evenly as
+// possible and returns the g+1 boundary indices.
+func groupBounds(n, g int) []int {
+	bounds := make([]int, g+1)
+	base, extra := n/g, n%g
+	for i := 0; i < g; i++ {
+		size := base
+		if i < extra {
+			size++
+		}
+		bounds[i+1] = bounds[i] + size
+	}
+	return bounds
+}
+
+// Kind reports the allocation this plan materializes.
+func (p *Plan) Kind() PlanKind { return p.kind }
+
+// Cores reports the schedule width (including any idle cores).
+func (p *Plan) Cores() int { return p.cores }
+
+// Chains reports how many independent pipeline replicas the plan runs —
+// equal to Cores for parallel plans.
+func (p *Plan) Chains() int { return p.chains }
+
+// Input returns chain i's input ring. The caller is the single producer
+// for that ring; feed each chain from exactly one goroutine.
+func (p *Plan) Input(i int) *exec.Ring { return p.inputs[i] }
+
+// Inputs returns all input rings, one per chain.
+func (p *Plan) Inputs() []*exec.Ring { return p.inputs }
+
+// Stats returns the per-core counter blocks, in core order.
+func (p *Plan) Stats() []*CoreStat { return p.stats }
+
+// Drops reports packets the plan lost — recycled because a handoff ring
+// rejected them. Input-ring rejections are not losses: the feeding
+// caller keeps ownership of a rejected packet and decides its fate.
+func (p *Plan) Drops() uint64 { return p.lost.Load() }
+
+// Rejections totals backpressure events across the plan's input and
+// handoff rings (rejected pushes whether or not the packet was lost).
+func (p *Plan) Rejections() uint64 {
+	var d uint64
+	for _, r := range p.inputs {
+		d += r.Rejected()
+	}
+	for _, r := range p.handoffs {
+		d += r.Rejected()
+	}
+	return d
+}
+
+// Queued reports packets currently sitting in the plan's rings —
+// useful for drain loops.
+func (p *Plan) Queued() int {
+	q := 0
+	for _, r := range p.inputs {
+		q += r.Len()
+	}
+	for _, r := range p.handoffs {
+		q += r.Len()
+	}
+	return q
+}
+
+// Processed totals packets that entered a pipeline across all cores'
+// first stages (each packet counts once per core that handled it).
+func (p *Plan) Processed() uint64 {
+	var n uint64
+	for _, s := range p.stats {
+		n += s.Packets()
+	}
+	return n
+}
+
+// Start launches the plan on real cores via the hardened Runner.
+func (p *Plan) Start() error { return p.runner.Start() }
+
+// Stop halts the Runner and waits for the per-core goroutines.
+func (p *Plan) Stop() { p.runner.Stop() }
+
+// RunStep executes one quantum of the given core synchronously — the
+// virtual-core hook: the cluster simulator and deterministic tests
+// drive the same plan the Runner would, without goroutines.
+func (p *Plan) RunStep(core int, ctx *Context) int { return p.sched.RunStep(core, ctx) }
+
+// Schedule exposes the underlying static core schedule.
+func (p *Plan) Schedule() *Schedule { return p.sched }
+
+// Describe renders the placement map: which stages run on which core,
+// and where the handoff rings sit.
+func (p *Plan) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s plan: %d cores, %d chains, %d handoff rings\n",
+		p.kind, p.cores, p.chains, len(p.handoffs))
+	for _, s := range p.stats {
+		fmt.Fprintf(&b, "  core %d: chain %d, stages %s\n", s.Core, s.Chain, s.Stages)
+	}
+	return b.String()
+}

@@ -2,8 +2,10 @@ package click
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Task is a schedulable unit of work — in practice a polling loop step
@@ -74,13 +76,40 @@ type Runner struct {
 	wg      sync.WaitGroup
 	started atomic.Bool
 
-	// Processed counts packets handled per core.
-	processed []atomic.Uint64
+	// Processed counts packets handled per core; steps counts RunStep
+	// invocations (the idle-backoff test uses it to prove an idle runner
+	// is sleeping, not spinning). Both are written on every loop
+	// iteration, so each core's counter gets its own cache line —
+	// packed atomics here would inject exactly the cross-core coherence
+	// traffic the placement benchmark exists to measure.
+	processed []paddedCounter
+	steps     []paddedCounter
 }
+
+// paddedCounter is an atomic counter alone on its cache line.
+type paddedCounter struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Idle-backoff escalation: spin briefly (a busy router refills queues
+// within nanoseconds), then yield the P so sibling goroutines run, then
+// sleep outright so a quiescent router costs ~no host CPU. Real Click
+// busy-polls, but it owns the machine; a library must not peg a core
+// that has nothing to do.
+const (
+	idleSpinSteps  = 64
+	idleYieldSteps = 1024
+	idleSleep      = 100 * time.Microsecond
+)
 
 // NewRunner wraps a schedule.
 func NewRunner(s *Schedule) *Runner {
-	return &Runner{sched: s, processed: make([]atomic.Uint64, s.Cores())}
+	return &Runner{
+		sched:     s,
+		processed: make([]paddedCounter, s.Cores()),
+		steps:     make([]paddedCounter, s.Cores()),
+	}
 }
 
 // Start launches the per-core polling goroutines. Calling Start twice is
@@ -99,18 +128,24 @@ func (r *Runner) Start() error {
 			for !r.stop.Load() {
 				n := r.sched.RunStep(core, ctx)
 				ctx.TakeCycles()
-				if n == 0 {
-					// Back off lightly on empty polls so an idle router
-					// doesn't spin a host CPU flat out; real Click busy
-					// polls, but it owns the machine.
-					idle++
-					if idle > 64 {
-						// Yield by a sync point; no sleep to stay snappy.
-						idle = 0
-					}
-				} else {
+				r.steps[core].n.Add(1)
+				if n > 0 {
 					idle = 0
-					r.processed[core].Add(uint64(n))
+					r.processed[core].n.Add(uint64(n))
+					continue
+				}
+				idle++
+				switch {
+				case idle <= idleSpinSteps:
+					// Busy-spin: traffic usually refills within nanoseconds.
+				case idle <= idleYieldSteps:
+					runtime.Gosched()
+				default:
+					// Quiescent: sleep so an idle router releases the CPU.
+					// Capping idle keeps the counter from overflowing on
+					// week-long idle stretches.
+					idle = idleYieldSteps + 1
+					time.Sleep(idleSleep)
 				}
 			}
 		}()
@@ -125,4 +160,8 @@ func (r *Runner) Stop() {
 }
 
 // Processed reports packets handled by a core since Start.
-func (r *Runner) Processed(core int) uint64 { return r.processed[core].Load() }
+func (r *Runner) Processed(core int) uint64 { return r.processed[core].n.Load() }
+
+// Steps reports RunStep invocations by a core since Start — a proxy for
+// how hard the core's polling loop is working.
+func (r *Runner) Steps(core int) uint64 { return r.steps[core].n.Load() }

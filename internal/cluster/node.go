@@ -23,6 +23,10 @@ type node struct {
 	// receives from j (MAC-steered); its TX side sends to j.
 	peersIn []*nic.Port
 	bal     *vlb.Balancer
+	// sched is the same static core-to-task assignment the live Runner
+	// drives (internal/click); here the simulator steps it on virtual
+	// time, so simulated and real execution share one placement type.
+	sched   *click.Schedule
 	cores   []*core
 	engines []*txEngine
 	failed  bool
@@ -39,7 +43,7 @@ func newNode(c *Cluster, id int) *node {
 		panic(fmt.Sprintf("cluster: MAC steering needs cores (%d) ≥ nodes (%d)", cores, cfg.Nodes))
 	}
 	qcfg := nic.Config{RXQueues: cores, TXQueues: cores, QueueSize: cfg.QueueSize}
-	n := &node{c: c, id: id}
+	n := &node{c: c, id: id, sched: click.NewSchedule(cores)}
 	// Every drop point is a terminal owner: recycle so a long-running
 	// simulation forwards without allocation churn.
 	n.ttlDiscard.Recycle = pkt.DefaultPool
@@ -122,13 +126,12 @@ func (n *node) txDrops() uint64 {
 
 // core is one CPU core: it owns receive queue index `idx` on every port
 // of its node (the paper's "one core per queue" rule) and runs the
-// pipelines attached to those queues.
+// pipelines attached to those queues. Its poll tasks are bound to the
+// node's click.Schedule; step executes one quantum of that schedule.
 type core struct {
 	n   *node
 	idx int
 	ctx *click.Context
-
-	polls []*elements.PollDevice
 }
 
 func newCore(n *node, idx int) *core {
@@ -157,7 +160,7 @@ func newCore(n *node, idx int) *core {
 		n.c.ttlDrops++
 		n.ttlDiscard.Push(ctx, 0, p)
 	})
-	c.polls = append(c.polls, poll)
+	n.sched.MustBind(idx, poll)
 
 	// Transit pipelines: queue q of an internal port carries packets
 	// whose output node is q (MAC steering). Queue q of the port facing
@@ -178,21 +181,19 @@ func newCore(n *node, idx int) *core {
 		tr.build()
 		tpoll := elements.NewPollDevice(p.RX(q), cfg.KP)
 		tpoll.SetBatchOutput(0, click.BatchDispatch(tr, 0))
-		c.polls = append(c.polls, tpoll)
+		n.sched.MustBind(idx, tpoll)
 	}
 	return c
 }
 
-// step is one scheduling quantum: poll every owned queue once, then come
-// back after the consumed virtual CPU time.
+// step is one scheduling quantum: run every task bound to this core in
+// the node's schedule once, then come back after the consumed virtual
+// CPU time.
 func (c *core) step() {
 	if c.n.failed {
 		return // crashed: no reschedule until RecoverNode
 	}
-	packets := 0
-	for _, p := range c.polls {
-		packets += p.Run(c.ctx)
-	}
+	packets := c.n.sched.RunStep(c.idx, c.ctx)
 	cycles := c.ctx.TakeCycles()
 	next := sim.Time(cycles / c.n.c.cfg.Spec.ClockHz * float64(sim.Second))
 	if packets == 0 && next < idleRepoll {

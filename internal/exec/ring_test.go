@@ -1,0 +1,266 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"routebricks/internal/pkt"
+)
+
+// mark tags a packet with a sequence number we can verify on the far
+// side of the ring.
+func mark(seq uint64) *pkt.Packet {
+	return &pkt.Packet{SeqNo: seq}
+}
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(5) // rounds up to 8
+	if r.Cap() != 8 {
+		t.Fatalf("Cap = %d, want 8", r.Cap())
+	}
+	if r.Free() != 8 {
+		t.Fatalf("Free = %d, want 8", r.Free())
+	}
+	for i := 0; i < 8; i++ {
+		if !r.Push(mark(uint64(i))) {
+			t.Fatalf("Push %d rejected on non-full ring", i)
+		}
+	}
+	if r.Push(mark(99)) {
+		t.Fatal("Push accepted on full ring")
+	}
+	if r.Rejected() != 1 {
+		t.Fatalf("Rejected = %d, want 1", r.Rejected())
+	}
+	if r.Free() != 0 {
+		t.Fatalf("Free = %d on full ring, want 0", r.Free())
+	}
+	for i := 0; i < 8; i++ {
+		p := r.Pop()
+		if p == nil || p.SeqNo != uint64(i) {
+			t.Fatalf("Pop %d = %v, want seq %d", i, p, i)
+		}
+	}
+	if r.Pop() != nil {
+		t.Fatal("Pop on empty ring returned a packet")
+	}
+}
+
+func TestRingBatchOverflowStaysWithCaller(t *testing.T) {
+	r := NewRing(4)
+	b := pkt.NewBatch(8)
+	for i := 0; i < 6; i++ {
+		b.Add(mark(uint64(i)))
+	}
+	if got := r.PushBatch(b); got != 4 {
+		t.Fatalf("PushBatch accepted %d, want 4", got)
+	}
+	if r.Rejected() != 2 {
+		t.Fatalf("Rejected = %d, want 2", r.Rejected())
+	}
+	// The two rejected packets stay with the caller, compacted, in order.
+	if b.Len() != 2 || b.At(0).SeqNo != 4 || b.At(1).SeqNo != 5 {
+		t.Fatalf("leftover batch = %d packets (first %v), want seqs 4,5", b.Len(), b.At(0))
+	}
+	out := pkt.NewBatch(8)
+	if got := r.PopBatchInto(out, 8); got != 4 {
+		t.Fatalf("PopBatchInto = %d, want 4", got)
+	}
+	for i := 0; i < 4; i++ {
+		if out.At(i).SeqNo != uint64(i) {
+			t.Fatalf("slot %d = seq %d, want %d", i, out.At(i).SeqNo, i)
+		}
+	}
+}
+
+func TestRingPopBatchRespectsMax(t *testing.T) {
+	r := NewRing(16)
+	for i := 0; i < 10; i++ {
+		r.Push(mark(uint64(i)))
+	}
+	b := pkt.NewBatch(16)
+	if got := r.PopBatchInto(b, 3); got != 3 {
+		t.Fatalf("PopBatchInto(max=3) = %d, want 3", got)
+	}
+	if got := r.PopBatchInto(b, 100); got != 7 {
+		t.Fatalf("PopBatchInto(max=100) = %d, want remaining 7", got)
+	}
+}
+
+// TestRingSPSCStress runs a real producer goroutine against a real
+// consumer goroutine — the configuration the handoff rings run in under
+// a pipelined plan — and checks that every packet arrives exactly once
+// and in order. Run it with -race: the cached-index fast path must not
+// introduce unsynchronized access to the shared slots.
+func TestRingSPSCStress(t *testing.T) {
+	const total = 200000
+	r := NewRing(256)
+	var wg sync.WaitGroup
+	wg.Add(2)
+
+	go func() { // producer: mixed single and batch pushes
+		defer wg.Done()
+		batch := pkt.NewBatch(16)
+		seq := uint64(0)
+		for seq < total {
+			if seq%3 == 0 {
+				if r.Push(mark(seq)) {
+					seq++
+				} else {
+					runtime.Gosched()
+				}
+				continue
+			}
+			batch.Reset()
+			for i := 0; i < 16 && seq+uint64(i) < total; i++ {
+				batch.Add(mark(seq + uint64(i)))
+			}
+			n := uint64(batch.Len())
+			for batch.Len() > 0 {
+				r.PushBatch(batch)
+				if batch.Len() > 0 {
+					runtime.Gosched()
+				}
+			}
+			seq += n
+		}
+	}()
+
+	errc := make(chan string, 1)
+	go func() { // consumer: mixed single and batch pops
+		defer wg.Done()
+		out := pkt.NewBatch(32)
+		next := uint64(0)
+		idle := 0
+		for next < total {
+			var got []*pkt.Packet
+			if next%5 == 0 {
+				if p := r.Pop(); p != nil {
+					got = []*pkt.Packet{p}
+				}
+			} else {
+				out.Reset()
+				if r.PopBatchInto(out, 32) > 0 {
+					got = out.Packets()
+				}
+			}
+			if len(got) == 0 {
+				idle++
+				if idle > 64 {
+					runtime.Gosched()
+				}
+				continue
+			}
+			idle = 0
+			for _, p := range got {
+				if p.SeqNo != next {
+					select {
+					case errc <- "out of order":
+					default:
+					}
+					return
+				}
+				next++
+			}
+		}
+	}()
+
+	wg.Wait()
+	select {
+	case msg := <-errc:
+		t.Fatalf("consumer: %s", msg)
+	default:
+	}
+	if r.Len() != 0 {
+		t.Fatalf("ring not drained: %s", r)
+	}
+}
+
+// TestRingFreeNeverOverstates checks the backpressure contract under
+// concurrency: a producer that trusts Free() can never overflow.
+func TestRingFreeNeverOverstates(t *testing.T) {
+	const total = 100000
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // consumer drains as fast as it can
+		defer wg.Done()
+		got := 0
+		for got < total {
+			out := pkt.NewBatch(16)
+			n := r.PopBatchInto(out, 16)
+			if n == 0 {
+				runtime.Gosched()
+			}
+			got += n
+		}
+	}()
+	sent := 0
+	b := pkt.NewBatch(16)
+	for sent < total {
+		room := r.Free()
+		if room == 0 {
+			runtime.Gosched()
+			continue
+		}
+		if room > 16 {
+			room = 16
+		}
+		if sent+room > total {
+			room = total - sent
+		}
+		b.Reset()
+		for i := 0; i < room; i++ {
+			b.Add(mark(uint64(sent + i)))
+		}
+		if got := r.PushBatch(b); got != room {
+			t.Fatalf("PushBatch accepted %d of %d despite Free()=%d", got, room, room)
+		}
+		sent += room
+	}
+	wg.Wait()
+	if r.Rejected() != 0 {
+		t.Fatalf("Rejected = %d, want 0 under Free()-guarded production", r.Rejected())
+	}
+}
+
+func BenchmarkRingHandoff(b *testing.B) {
+	r := NewRing(1024)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		out := pkt.NewBatch(32)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			out.Reset()
+			if r.PopBatchInto(out, 32) == 0 {
+				runtime.Gosched()
+			}
+		}
+	}()
+	batch := pkt.NewBatch(32)
+	pkts := make([]*pkt.Packet, 32)
+	for i := range pkts {
+		pkts[i] = mark(uint64(i))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.Reset()
+		for _, p := range pkts {
+			batch.Add(p)
+		}
+		for batch.Len() > 0 {
+			r.PushBatch(batch)
+		}
+	}
+	b.StopTimer()
+	close(stop)
+	<-done
+}

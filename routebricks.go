@@ -15,6 +15,14 @@
 //     analysis of §5, with every constant derived from the paper.
 //   - Experiments: regenerators for every table and figure (internal/
 //     experiments); see EXPERIMENTS.md for paper-vs-measured values.
+//   - The placement API (internal/click.NewPlan): §4.2's two core
+//     allocations as runnable artifacts. A Parallel plan clones a
+//     pipeline onto every core ("one core per queue, one core per
+//     packet"); a Pipelined plan cuts it into per-core stages joined by
+//     lock-free SPSC handoff rings (internal/exec). Plans run on real
+//     goroutines via click.Runner or step deterministically on virtual
+//     cores; BenchmarkPlacement and EXPERIMENTS.md track the measured
+//     parallel-vs-pipelined crossover against the paper's Fig. 5.
 //
 // Quick start:
 //
