@@ -285,16 +285,33 @@ func (s *placementSink) PushBatch(_ *click.Context, _ int, b *pkt.Batch) {
 	b.Reset()
 }
 
+// placementConfig is the standard IP forwarding path in the Click
+// language — what BenchmarkPlacement loads through the graph-first
+// Program API. The trunk (check → rt → ttl) leaves output 0 dangling
+// for the benchmark's closed-loop sink; each error port routes to its
+// own prebound counting drop so the trunk stays fully cuttable.
+const placementConfig = `
+	check :: CheckIPHeader;
+	rt    :: LPMLookup(fib);
+	ttl   :: DecIPTTL;
+	check[0] -> rt;
+	check[1] -> badhdr;
+	rt[0]    -> ttl;
+	rt[1]    -> badroute;
+	ttl[1]   -> badttl;
+`
+
 // BenchmarkPlacement is the §4.2 core-allocation experiment as a real
 // multi-core code path: the standard IP forwarding pipeline
-// (CheckIPHeader → LPMLookup → DecIPTTL) materialized by the placement
-// planner as either a Parallel plan (each core runs the whole pipeline
-// on its own input ring) or a Pipelined plan (stages cut across cores,
-// joined by SPSC handoff rings), driven on real goroutines by the
-// click Runner. One op is one 64-byte packet moved source→sink, so the
-// Mpps metric compares directly across kinds and core counts. The
-// paper's finding — parallel ≥ pipelined, because inter-core handoffs
-// dominate — should reproduce at every core count.
+// (CheckIPHeader → LPMLookup → DecIPTTL), written in the Click
+// language and loaded through routebricks.Load, materialized as either
+// a Parallel plan (each core runs the whole graph on its own input
+// ring) or a Pipelined plan (the trunk cut across cores, joined by
+// SPSC handoff rings), driven on real goroutines by the click Runner.
+// One op is one 64-byte packet moved source→sink, so the Mpps metric
+// compares directly across kinds and core counts. The paper's finding
+// — parallel ≥ pipelined, because inter-core handoffs dominate —
+// should reproduce at every core count.
 func BenchmarkPlacement(b *testing.B) {
 	for _, cores := range []int{1, 2, 4, 8} {
 		for _, kind := range []click.PlanKind{click.Parallel, click.Pipelined} {
@@ -315,31 +332,29 @@ func runPlacement(b *testing.B, kind click.PlanKind, cores int) {
 	table.Freeze()
 
 	var delivered, lost atomic.Uint64
-	drop := func(_ *click.Context, p *pkt.Packet) {
-		lost.Add(1)
-		pkt.DefaultPool.Put(p)
-	}
-	stages := []click.StageSpec{
-		{Name: "check", Make: func(int) click.StageInstance {
-			e := &elements.CheckIPHeader{}
-			e.SetOutput(1, drop)
-			return click.StageInstance{Entry: e}
-		}},
-		{Name: "route", Make: func(int) click.StageInstance {
-			e := elements.NewLPMLookup(table)
-			e.SetOutput(1, drop)
-			return click.StageInstance{Entry: e}
-		}},
-		{Name: "ttl", Make: func(int) click.StageInstance {
-			e := &elements.DecIPTTL{}
-			e.SetOutput(1, drop)
-			return click.StageInstance{Entry: e}
-		}},
-	}
 	var frees []*exec.Ring
-	plan, err := click.NewPlan(click.PlanConfig{
-		Kind: kind, Cores: cores, KP: kp, Stages: stages,
-		Sink: func(int) click.Element {
+	pipe, err := Load(placementConfig, Options{
+		Cores:     cores,
+		Placement: kind,
+		KP:        kp,
+		Prebound: func(chain int) map[string]Element {
+			// Error ports terminate in counting recycling sinks; they see
+			// no traffic in this loss-free loop, but a misroute must show
+			// up in the lost total rather than vanish.
+			drop := func() Element {
+				return &elements.Sink{
+					Fn:      func(_ *click.Context, _ *pkt.Packet) { lost.Add(1) },
+					Recycle: pkt.DefaultPool,
+				}
+			}
+			return map[string]Element{
+				"fib":      elements.NewLPMLookup(table),
+				"badhdr":   drop(),
+				"badroute": drop(),
+				"badttl":   drop(),
+			}
+		},
+		Sink: func(int) Element {
 			s := &placementSink{free: exec.NewRing(workset), delivered: &delivered, lost: &lost}
 			frees = append(frees, s.free)
 			return s
@@ -348,6 +363,7 @@ func runPlacement(b *testing.B, kind click.PlanKind, cores int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	plan := pipe.Plan()
 	src := netip.MustParseAddr("10.1.0.1")
 	dst := netip.MustParseAddr("10.0.0.2")
 	for chain := 0; chain < plan.Chains(); chain++ {

@@ -4,20 +4,32 @@
 // lookup, and Direct-VLB/flowlet logic as the simulation — but on
 // wall-clock time and OS sockets (stdlib net only).
 //
-// It demonstrates the programmability claim of the paper: the datapath
-// is the same handful of Click-style elements, re-hosted from the
-// simulator onto kernel UDP I/O without modification. Each node's
-// datapath is materialized by the click placement planner: -cores picks
-// the core count and -placement the §4.2 allocation (parallel = every
-// core runs the whole CheckIPHeader→LPMLookup→DecIPTTL→VLB pipeline on
-// its own queue; pipelined = the pipeline is cut into stages joined by
-// SPSC handoff rings), driven on real goroutines by the click Runner.
+// It demonstrates the programmability claim of the paper: each node's
+// ingress datapath is a Click-language program loaded through
+// routebricks.Load — the default is the embedded config below, and
+// -config swaps in any .click file written against the standard element
+// registry plus the prebound names the command supplies:
+//
+//	fib        LPMLookup bound to the cluster FIB (node d owns 10.d.0.0/16)
+//	vlb        terminal Direct-VLB forwarder (MAC rewrite + mesh emit)
+//	badhdr     counting drop for CheckIPHeader failures
+//	badttl     counting drop for expired TTLs
+//	missroute  counting drop for FIB misses
+//
+// The framework parallelizes whatever graph the config describes:
+// -cores picks the core count and -placement the §4.2 allocation
+// (parallel = every core runs an independent copy of the whole graph on
+// its own queue; pipelined = the graph's trunk is cut across cores,
+// joined by SPSC handoff rings), driven on real goroutines.
 //
 // Usage:
 //
 //	rbrouter                      # 4-node demo, 20000 packets
 //	rbrouter -nodes 6 -packets 50000 -flowlets=false
 //	rbrouter -cores 4 -placement pipelined
+//	rbrouter -config my.click     # custom per-node ingress program
+//	rbrouter -print-graph         # dump the ingress graph as Graphviz dot and exit
+//	rbrouter -print-graph | dot -Tsvg > graph.svg
 package main
 
 import (
@@ -30,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"routebricks"
 	"routebricks/internal/click"
 	"routebricks/internal/elements"
 	"routebricks/internal/lpm"
@@ -41,13 +54,30 @@ import (
 	"routebricks/internal/vlb"
 )
 
+// defaultConfig is the embedded per-node ingress program — the same
+// CheckIPHeader → LPMLookup → DecIPTTL → VLB path the paper's router
+// runs, with each error port routed to its own counting drop.
+const defaultConfig = `
+	// RouteBricks node ingress path. fib, vlb and the drops are prebound.
+	check :: CheckIPHeader;
+	rt    :: LPMLookup(fib);
+	ttl   :: DecIPTTL;
+
+	check[0] -> rt;
+	check[1] -> badhdr;
+	rt[0]    -> ttl;
+	rt[1]    -> missroute;
+	ttl[0]   -> vlb;
+	ttl[1]   -> badttl;
+`
+
 func nowVirtual() sim.Time { return sim.Time(time.Now().UnixNano()) }
 
 // node is one cluster server backed by two UDP sockets: ext receives
 // line traffic and emits egress frames to the collector; int carries
-// mesh links to peers. Its datapath is two placement plans — ingress
-// (full routing path) and transit (MAC-only forwarding) — whose input
-// rings the socket readers feed.
+// mesh links to peers. Its datapath is a loaded Click pipeline for
+// ingress (the -config program) and a placement plan for transit
+// (MAC-only forwarding); the socket readers feed their input rings.
 type node struct {
 	id    int
 	n     int
@@ -56,7 +86,7 @@ type node struct {
 	peers []*net.UDPAddr // internal socket address of each node
 	sink  *net.UDPAddr   // collector
 
-	ingress *click.Plan
+	ingress *routebricks.Pipeline
 	transit *click.Plan
 
 	stop atomic.Bool
@@ -69,7 +99,49 @@ type node struct {
 	rxDrops   atomic.Uint64
 }
 
-func newNode(id, n int, table *lpm.Dir248, flowlets bool, cores int, kind click.PlanKind) (*node, error) {
+// prebound resolves the instances a node's Click program may name, for
+// one chain. Each chain gets its own LPMLookup (over the shared frozen
+// table) and its own VLB balancer — the balancer is single-threaded by
+// contract, and a chain runs on exactly one core at a time.
+func (nd *node) prebound(table *lpm.Dir248, flowlets bool, chain int) map[string]routebricks.Element {
+	return map[string]routebricks.Element{
+		"fib": elements.NewLPMLookup(table),
+		"vlb": &udpForward{nd: nd, bal: vlb.New(vlb.Config{
+			Nodes: nd.n, Self: nd.id,
+			LineRateBps: 1e9, // demo-scale line rate for the quota clock
+			LinkCapBps:  1e9,
+			Flowlets:    flowlets,
+			Seed:        int64(nd.id)*64 + int64(chain) + 1,
+		})},
+		"badhdr":    countDrop(&nd.hdrDrops),
+		"badttl":    countDrop(&nd.hdrDrops),
+		"missroute": countDrop(&nd.routeMiss),
+	}
+}
+
+// countDrop builds a terminal that counts into the given node counter
+// and recycles the buffer — the element is the packet's last owner.
+func countDrop(n *atomic.Uint64) *elements.Sink {
+	return &elements.Sink{
+		Fn:      func(_ *click.Context, _ *pkt.Packet) { n.Add(1) },
+		Recycle: pkt.DefaultPool,
+	}
+}
+
+// printPrebound stands in for a node's runtime resources when the
+// program is only being rendered (-print-graph): same element types, no
+// sockets or tables behind them.
+func printPrebound(chain int) map[string]routebricks.Element {
+	return map[string]routebricks.Element{
+		"fib":       &elements.LPMLookup{},
+		"vlb":       &udpForward{},
+		"badhdr":    &elements.Sink{},
+		"badttl":    &elements.Sink{},
+		"missroute": &elements.Sink{},
+	}
+}
+
+func newNode(id, n int, table *lpm.Dir248, cfgText string, flowlets bool, cores int, kind click.PlanKind) (*node, error) {
 	ext, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
 		return nil, err
@@ -78,63 +150,37 @@ func newNode(id, n int, table *lpm.Dir248, flowlets bool, cores int, kind click.
 	if err != nil {
 		return nil, err
 	}
+	// Deep kernel receive buffers: injection is bursty and a pipelined
+	// datapath on an oversubscribed host drains slowly, so the default
+	// rmem can overflow invisibly before the reader ever runs.
+	ext.SetReadBuffer(4 << 20)
+	intc.SetReadBuffer(4 << 20)
 	nd := &node{
 		id: id, n: n, ext: ext, int_: intc,
 		peers: make([]*net.UDPAddr, n),
 	}
 
-	// Terminal error paths: the element dropping the packet is its last
-	// owner, so the buffer goes straight back to the pool.
-	dropHdr := func(_ *click.Context, p *pkt.Packet) {
-		nd.hdrDrops.Add(1)
-		pkt.DefaultPool.Put(p)
-	}
-	dropMiss := func(_ *click.Context, p *pkt.Packet) {
-		nd.routeMiss.Add(1)
-		pkt.DefaultPool.Put(p)
-	}
-
-	// The ingress pipeline, declared as placement stages. Make runs once
-	// per chain: the parallel plan clones the whole pipeline per core,
-	// the pipelined plan builds it once per chain and cuts it across
-	// cores. Each chain gets its own VLB balancer — the balancer is
-	// single-threaded by contract, and a chain's forward stage runs on
-	// exactly one core.
-	ingressStages := []click.StageSpec{
-		{Name: "check", Make: func(int) click.StageInstance {
-			check := &elements.CheckIPHeader{}
-			check.SetOutput(1, dropHdr)
-			return click.StageInstance{Entry: check}
-		}},
-		{Name: "route", Make: func(int) click.StageInstance {
-			look := elements.NewLPMLookup(table)
-			look.SetOutput(1, dropMiss)
-			return click.StageInstance{Entry: look}
-		}},
-		{Name: "forward", Make: func(chain int) click.StageInstance {
-			fwd := &udpForward{nd: nd, bal: vlb.New(vlb.Config{
-				Nodes: n, Self: id,
-				LineRateBps: 1e9, // demo-scale line rate for the quota clock
-				LinkCapBps:  1e9,
-				Flowlets:    flowlets,
-				Seed:        int64(id)*64 + int64(chain) + 1,
-			})}
-			ttl := &elements.DecIPTTL{}
-			ttl.SetOutput(0, func(ctx *click.Context, p *pkt.Packet) { fwd.Push(ctx, 0, p) })
-			ttl.SetBatchOutput(0, click.BatchDispatch(fwd, 0))
-			ttl.SetOutput(1, dropHdr)
-			return click.StageInstance{Entry: ttl, Exit: fwd}
-		}},
-	}
-	nd.ingress, err = click.NewPlan(click.PlanConfig{
-		Kind: kind, Cores: cores, Stages: ingressStages, KP: 32, InputCap: 4096,
+	// The ingress datapath: the Click program, loaded and placed. The
+	// graph is instantiated once per chain — a parallel plan clones the
+	// whole graph per core, a pipelined plan cuts its trunk across cores
+	// wherever the topology allows.
+	nd.ingress, err = routebricks.Load(cfgText, routebricks.Options{
+		Cores:     cores,
+		Placement: kind,
+		KP:        32,
+		InputCap:  4096,
+		Prebound: func(chain int) map[string]routebricks.Element {
+			return nd.prebound(table, flowlets, chain)
+		},
 	})
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("load ingress program: %w", err)
 	}
 
 	// Transit traffic moves by MAC only — a single stage, so parallel is
-	// the only sensible allocation regardless of -placement.
+	// the only sensible allocation regardless of -placement. It rides the
+	// legacy StageSpec shim, which the planner converts to a Program
+	// internally.
 	nd.transit, err = click.NewPlan(click.PlanConfig{
 		Kind:  click.Parallel,
 		Cores: cores,
@@ -153,8 +199,7 @@ func newNode(id, n int, table *lpm.Dir248, flowlets bool, cores int, kind click.
 
 // udpForward is the terminal ingress element: it rewrites the steering
 // MACs, consults its chain's VLB balancer, and emits the frame on the
-// node's sockets. It replaces the hand-rolled worker loop the planner
-// rehosted.
+// node's sockets.
 type udpForward struct {
 	click.Base
 	nd  *node
@@ -204,13 +249,12 @@ func (t *udpTransit) Push(_ *click.Context, _ int, p *pkt.Packet) {
 	t.nd.send(out, p)
 }
 
-// reader pulls UDP datagrams into the plan's per-chain input rings,
-// steering by flow hash — the RSS role. One reader per socket keeps
-// each input ring single-producer.
-func (nd *node) reader(conn *net.UDPConn, plan *click.Plan) {
+// runReader pulls UDP datagrams into per-chain input rings, steering by
+// flow hash — the RSS role. One reader per socket keeps each input ring
+// single-producer.
+func (nd *node) runReader(conn *net.UDPConn, chains int, push func(chain int, p *pkt.Packet) bool) {
 	defer nd.wg.Done()
 	buf := make([]byte, 2048)
-	chains := uint64(plan.Chains())
 	for !nd.stop.Load() {
 		conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
 		m, _, err := conn.ReadFromUDP(buf)
@@ -222,7 +266,7 @@ func (nd *node) reader(conn *net.UDPConn, plan *click.Plan) {
 		}
 		p := pkt.DefaultPool.Get(m)
 		copy(p.Data, buf[:m])
-		if !plan.Input(int(p.FlowHash() % chains)).Push(p) {
+		if !push(int(p.FlowHash()%uint64(chains)), p) {
 			// Receive ring overflow: the reader is the packet's last owner.
 			nd.rxDrops.Add(1)
 			pkt.DefaultPool.Put(p)
@@ -253,8 +297,10 @@ func (nd *node) start() error {
 		return err
 	}
 	nd.wg.Add(2)
-	go nd.reader(nd.ext, nd.ingress)
-	go nd.reader(nd.int_, nd.transit)
+	go nd.runReader(nd.ext, nd.ingress.Chains(), nd.ingress.Push)
+	go nd.runReader(nd.int_, nd.transit.Chains(), func(chain int, p *pkt.Packet) bool {
+		return nd.transit.Input(chain).Push(p)
+	})
 	return nil
 }
 
@@ -269,15 +315,33 @@ func (nd *node) shutdown() {
 
 func run() error {
 	var (
-		nNodes    = flag.Int("nodes", 4, "cluster size")
-		packets   = flag.Int("packets", 20000, "packets to inject")
-		rate      = flag.Int("rate", 40000, "injection rate (packets/sec)")
-		flowlets  = flag.Bool("flowlets", true, "enable flowlet reordering avoidance")
-		cores     = flag.Int("cores", 1, "datapath cores per node")
-		placement = flag.String("placement", "parallel", "core allocation: parallel or pipelined")
-		pcapPath  = flag.String("pcap", "", "capture egress traffic to this pcap file")
+		nNodes     = flag.Int("nodes", 4, "cluster size")
+		packets    = flag.Int("packets", 20000, "packets to inject")
+		rate       = flag.Int("rate", 40000, "injection rate (packets/sec)")
+		flowlets   = flag.Bool("flowlets", true, "enable flowlet reordering avoidance")
+		cores      = flag.Int("cores", 1, "datapath cores per node")
+		placement  = flag.String("placement", "parallel", "core allocation: parallel or pipelined")
+		configPath = flag.String("config", "", "Click-language ingress program (default: embedded IP router config)")
+		printGraph = flag.Bool("print-graph", false, "print the ingress element graph as Graphviz dot and exit")
+		pcapPath   = flag.String("pcap", "", "capture egress traffic to this pcap file")
 	)
 	flag.Parse()
+	cfgText := defaultConfig
+	if *configPath != "" {
+		raw, err := os.ReadFile(*configPath)
+		if err != nil {
+			return err
+		}
+		cfgText = string(raw)
+	}
+	if *printGraph {
+		pipe, err := routebricks.Load(cfgText, routebricks.Options{Prebound: printPrebound})
+		if err != nil {
+			return err
+		}
+		fmt.Print(pipe.DOT())
+		return nil
+	}
 	if *nNodes < 2 || *nNodes > 64 {
 		return fmt.Errorf("nodes must be in [2,64]")
 	}
@@ -320,10 +384,11 @@ func run() error {
 		return err
 	}
 	defer collector.Close()
+	collector.SetReadBuffer(4 << 20)
 
 	nodes := make([]*node, *nNodes)
 	for i := range nodes {
-		if nodes[i], err = newNode(i, *nNodes, table, *flowlets, *cores, kind); err != nil {
+		if nodes[i], err = newNode(i, *nNodes, table, cfgText, *flowlets, *cores, kind); err != nil {
 			return err
 		}
 	}

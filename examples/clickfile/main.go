@@ -1,9 +1,10 @@
-// clickfile: the programmability claim, demonstrated. The same IP-router
-// datapath as examples/iprouter, but declared in the Click configuration
-// language (§1: the router "is fully programmable using the familiar
-// Click/Linux environment") and instantiated by the parser against the
-// standard element registry, with the route table passed in as a
-// prebound instance.
+// clickfile: the programmability claim, demonstrated end to end. The
+// IP-router datapath is declared in the Click configuration language
+// (§1: the router "is fully programmable using the familiar Click/Linux
+// environment") and handed to routebricks.Load, which parses it against
+// the standard element registry, stamps one independent copy of the
+// graph per core, and runs it as a multi-core Parallel placement — the
+// route table passed in as a per-chain prebound instance.
 //
 //	go run ./examples/clickfile
 package main
@@ -11,15 +12,16 @@ package main
 import (
 	"fmt"
 	"log"
+	"runtime"
 
-	"routebricks/internal/click"
+	"routebricks"
 	"routebricks/internal/elements"
 	"routebricks/internal/lpm"
 	"routebricks/internal/trafficgen"
 )
 
 const config = `
-	// IP router, Click syntax. 'fib' is prebound by the host program.
+	// IP router, Click syntax. 'fib' and 'sink' are prebound per chain.
 	check :: CheckIPHeader;
 	rt    :: LPMLookup(fib);
 	ttl   :: DecIPTTL;
@@ -48,29 +50,55 @@ func main() {
 	}
 	table.Freeze()
 
-	prebound := map[string]click.Element{
-		"fib":  elements.NewLPMLookup(table),
-		"sink": &elements.Discard{},
-	}
-	router, err := click.ParseConfig(config, elements.StandardRegistry(), prebound)
+	const cores = 2
+	pipe, err := routebricks.Load(config, routebricks.Options{
+		Cores: cores,
+		Prebound: func(chain int) map[string]routebricks.Element {
+			return map[string]routebricks.Element{
+				"fib":  elements.NewLPMLookup(table),
+				"sink": &elements.Discard{},
+			}
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := router.Check(); err != nil {
+	fmt.Println("parsed graph:")
+	fmt.Print(pipe.Router(0).Graph())
+	fmt.Printf("\nplacement:\n%s\n", pipe.Describe())
+
+	if err := pipe.Start(); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("parsed graph:")
-	fmt.Print(router.Graph())
-
 	src := trafficgen.New(trafficgen.Config{Seed: 1, Sizes: trafficgen.Fixed(64), RandomDst: true})
-	entry := router.Get("check")
-	ctx := &click.Context{}
 	const n = 100000
 	for i := 0; i < n; i++ {
-		entry.Push(ctx, 0, src.Next())
+		p := src.Next()
+		for !pipe.Push(i%cores, p) {
+			runtime.Gosched()
+		}
 	}
-	good := router.Get("good").(*elements.Counter)
-	sink := prebound["sink"].(*elements.Discard)
-	fmt.Printf("\nrouted %d of %d packets through the parsed pipeline (sink drained %d)\n",
-		good.Packets(), n, sink.Count())
+	total := func() (routed, drained uint64) {
+		for chain := 0; chain < pipe.Chains(); chain++ {
+			routed += pipe.Element(chain, "good").(*elements.Counter).Packets()
+			drained += pipe.Element(chain, "sink").(*elements.Discard).Count()
+		}
+		return
+	}
+	for {
+		routed, drained := total()
+		var dropped uint64
+		for chain := 0; chain < pipe.Chains(); chain++ {
+			dropped += pipe.Element(chain, "bad").(*elements.Discard).Count()
+		}
+		if routed+dropped >= n && drained+dropped >= n {
+			break
+		}
+		runtime.Gosched()
+	}
+	pipe.Stop()
+
+	routed, drained := total()
+	fmt.Printf("\nrouted %d of %d packets through the loaded pipeline on %d cores (sinks drained %d)\n",
+		routed, n, cores, drained)
 }

@@ -1,7 +1,10 @@
 // iprouter: a single-server IP router built from the element library —
 // CheckIPHeader → LPMLookup (DIR-24-8 over 256K routes) → DecIPTTL →
-// HopSwitch — exercised functionally on this host, with the modeled
-// Nehalem forwarding rates printed alongside (the Fig 8 numbers).
+// HopSwitch over 16 ports — described as a code-built click.Program
+// (the same graph-first abstraction Click-text configs load through)
+// and materialized by the placement planner as a multi-core Parallel
+// plan, exercised functionally on this host with the modeled Nehalem
+// forwarding rates printed alongside (the Fig 8 numbers).
 //
 //	go run ./examples/iprouter
 package main
@@ -15,13 +18,13 @@ import (
 	"routebricks/internal/elements"
 	"routebricks/internal/hw"
 	"routebricks/internal/lpm"
-	"routebricks/internal/pkt"
 	"routebricks/internal/trafficgen"
 )
 
 func main() {
 	// The paper's routing table: 256K prefixes, random next hops.
 	const ports = 16
+	const cores = 2
 	table := lpm.NewDir248()
 	if err := lpm.Build(table, lpm.RandomTable(256*1024, ports, 7, true)); err != nil {
 		log.Fatal(err)
@@ -29,58 +32,82 @@ func main() {
 	table.Freeze()
 	fmt.Printf("FIB: %s, %.1f MB lookup arrays\n", table, float64(table.MemoryFootprint())/1e6)
 
-	// Element pipeline.
-	router := click.NewRouter()
-	check := &elements.CheckIPHeader{}
-	look := elements.NewLPMLookup(table)
-	ttl := &elements.DecIPTTL{}
-	hops := elements.NewHopSwitch(ports)
-	bad := &elements.Discard{}
-	outs := make([]*elements.Counter, ports)
-	router.MustAdd("check", check)
-	router.MustAdd("lookup", look)
-	router.MustAdd("ttl", ttl)
-	router.MustAdd("hops", hops)
-	router.MustAdd("bad", bad)
-	router.MustConnect("check", 0, "lookup", 0)
-	router.MustConnect("check", 1, "bad", 0)
-	router.MustConnect("lookup", 0, "ttl", 0)
-	router.MustConnect("lookup", 1, "bad", 0)
-	router.MustConnect("ttl", 0, "hops", 0)
-	router.MustConnect("ttl", 1, "bad", 0)
-	sinkAll := &elements.Discard{}
-	router.MustAdd("sink", sinkAll)
-	for i := 0; i < ports; i++ {
-		outs[i] = &elements.Counter{}
-		name := fmt.Sprintf("out%d", i)
-		router.MustAdd(name, outs[i])
-		router.MustConnect("hops", i, name, 0)
-		router.MustConnect(name, 0, "sink", 0)
-	}
-	if err := router.Check(); err != nil {
+	// The element graph, as a Program: Build stamps out one independent
+	// copy per chain, so the parallel plan below gives every core its
+	// own pipeline (the paper's "one core per packet" rule).
+	prog := click.NewProgram(func(chain int) (*click.Router, error) {
+		router := click.NewRouter()
+		router.MustAdd("check", &elements.CheckIPHeader{})
+		router.MustAdd("lookup", elements.NewLPMLookup(table))
+		router.MustAdd("ttl", &elements.DecIPTTL{})
+		router.MustAdd("hops", elements.NewHopSwitch(ports))
+		router.MustAdd("bad", &elements.Discard{})
+		router.MustAdd("sink", &elements.Discard{})
+		router.MustConnect("check", 0, "lookup", 0)
+		router.MustConnect("check", 1, "bad", 0)
+		router.MustConnect("lookup", 0, "ttl", 0)
+		router.MustConnect("lookup", 1, "bad", 0)
+		router.MustConnect("ttl", 0, "hops", 0)
+		router.MustConnect("ttl", 1, "bad", 0)
+		for i := 0; i < ports; i++ {
+			name := fmt.Sprintf("out%d", i)
+			router.MustAdd(name, &elements.Counter{})
+			router.MustConnect("hops", i, name, 0)
+			router.MustConnect(name, 0, "sink", 0)
+		}
+		if err := router.Check(); err != nil {
+			return nil, err
+		}
+		return router, nil
+	})
+
+	plan, err := click.NewPlan(click.PlanConfig{
+		Kind: click.Parallel, Cores: cores, Program: prog, KP: 32,
+	})
+	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Print(plan.Describe())
 
-	// Push random-destination 64 B packets through the real pipeline.
+	// Push random-destination 64 B packets through the planned pipeline,
+	// driving the cores deterministically on this goroutine.
 	const n = 500000
 	src := trafficgen.New(trafficgen.Config{Seed: 3, Sizes: trafficgen.Fixed(64), RandomDst: true})
 	packets := src.Batch(n)
 	ctx := &click.Context{}
 	start := time.Now()
-	for _, p := range packets {
-		check.Push(ctx, 0, p)
+	for fed := 0; fed < n; {
+		for c := 0; c < plan.Chains() && fed < n; c++ {
+			if plan.Input(c).Push(packets[fed]) {
+				fed++
+			}
+		}
+		for core := 0; core < plan.Cores(); core++ {
+			plan.RunStep(core, ctx)
+		}
+	}
+	for plan.Queued() > 0 {
+		for core := 0; core < plan.Cores(); core++ {
+			plan.RunStep(core, ctx)
+		}
 	}
 	elapsed := time.Since(start)
 	ctx.TakeCycles()
 
-	routed := uint64(0)
-	for _, c := range outs {
-		routed += c.Packets()
+	var routed, dropped, expired, misses uint64
+	for chain := 0; chain < plan.Chains(); chain++ {
+		router := plan.Router(chain)
+		for i := 0; i < ports; i++ {
+			routed += router.Get(fmt.Sprintf("out%d", i)).(*elements.Counter).Packets()
+		}
+		dropped += router.Get("bad").(*elements.Discard).Count()
+		expired += router.Get("ttl").(*elements.DecIPTTL).Expired()
+		misses += router.Get("lookup").(*elements.LPMLookup).Misses()
 	}
 	fmt.Printf("host run: %d packets in %v → %.2f Mpps on this machine\n",
 		n, elapsed.Round(time.Millisecond), float64(n)/elapsed.Seconds()/1e6)
 	fmt.Printf("  routed %d, dropped %d (TTL %d, lookup misses %d)\n",
-		routed, bad.Count(), ttl.Expired(), look.Misses())
+		routed, dropped, expired, misses)
 
 	// The modeled Nehalem rates for this application (Fig 8).
 	spec := hw.Nehalem()
@@ -88,5 +115,4 @@ func main() {
 	r64 := hw.MaxRate(spec, hw.Route, 64, cfg)
 	rAb := hw.MaxRateMean(spec, hw.Route, trafficgen.AbileneMix().Mean(), cfg)
 	fmt.Printf("modeled 2009 Nehalem: %s (64 B), %s (Abilene)\n", r64, rAb)
-	_ = pkt.MinSize
 }

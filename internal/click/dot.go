@@ -1,0 +1,29 @@
+package click
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the element graph in Graphviz dot format, port-labeled:
+// each element is a box labeled "name :: Type", each connection an edge
+// labeled "[fromPort]->[toPort]". Pipe it through `dot -Tsvg` to see the
+// graph a configuration actually built — the companion to Graph()'s
+// plain-text listing, and what `rbrouter -print-graph` emits.
+func (r *Router) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph router {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+	b.WriteString("  edge [fontname=\"Helvetica\", fontsize=10];\n")
+	for _, name := range r.order {
+		typ := fmt.Sprintf("%T", r.elements[name])
+		typ = typ[strings.LastIndexByte(typ, '.')+1:] // *elements.Discard -> Discard
+		fmt.Fprintf(&b, "  %q [label=\"%s :: %s\"];\n", name, name, typ)
+	}
+	for _, c := range r.conns {
+		fmt.Fprintf(&b, "  %q -> %q [label=\"[%d]->[%d]\"];\n", c.from, c.to, c.fromPort, c.toPort)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

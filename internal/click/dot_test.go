@@ -1,0 +1,35 @@
+package click
+
+import (
+	"strings"
+	"testing"
+)
+
+// DOT output must name every element and label every edge with its
+// port pair, so `rbrouter -print-graph | dot -Tsvg` shows the real
+// wiring.
+func TestRouterDOT(t *testing.T) {
+	r, err := ParseConfig(`
+		s :: Split;
+		a :: Counter;
+		s[0] -> a -> out;
+		s[1] -> [2]out;
+	`, testRegistry(), map[string]Element{"out": &psink{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := r.DOT()
+	for _, want := range []string{
+		"digraph router {",
+		`"s" [label="s :: psplit"];`,
+		`"a" [label="a :: pcounter"];`,
+		`"s" -> "a" [label="[0]->[0]"];`,
+		`"a" -> "out" [label="[0]->[0]"];`,
+		`"s" -> "out" [label="[1]->[2]"];`,
+		"}",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}

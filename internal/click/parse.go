@@ -2,6 +2,7 @@ package click
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 )
@@ -153,17 +154,36 @@ type endpoint struct {
 	outPort int
 }
 
+// maxPort bounds port numbers in configurations: negative ports are
+// nonsense and anything huge is a typo, not a 2^31-output element.
+const maxPort = 255
+
+// parsePort parses one bracketed port number strictly — the whole token
+// must be a decimal integer in [0, maxPort]. fmt.Sscanf("%d") silently
+// accepted trailing garbage ("a[1x] -> b") and negative ports; Atoi plus
+// the range check rejects both with a line-numbered error.
+func parsePort(s string, what, tok string, line int) (int, error) {
+	v, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || v < 0 || v > maxPort {
+		return 0, fmt.Errorf("click: line %d: bad %s port %q in %q (want integer in [0,%d])",
+			line, what, s, tok, maxPort)
+	}
+	return v, nil
+}
+
 // parseEndpoint parses "[2]name[3]", "name[1]", "[1]name", or "name".
 func parseEndpoint(tok string, line int) (endpoint, error) {
 	e := endpoint{}
 	tok = strings.TrimSpace(tok)
+	orig := tok
 	if strings.HasPrefix(tok, "[") {
 		close := strings.IndexByte(tok, ']')
 		if close < 0 {
 			return e, fmt.Errorf("click: line %d: unbalanced '[' in %q", line, tok)
 		}
-		if _, err := fmt.Sscanf(tok[1:close], "%d", &e.inPort); err != nil {
-			return e, fmt.Errorf("click: line %d: bad input port in %q", line, tok)
+		var err error
+		if e.inPort, err = parsePort(tok[1:close], "input", orig, line); err != nil {
+			return e, err
 		}
 		tok = strings.TrimSpace(tok[close+1:])
 	}
@@ -171,8 +191,9 @@ func parseEndpoint(tok string, line int) (endpoint, error) {
 		if !strings.HasSuffix(tok, "]") {
 			return e, fmt.Errorf("click: line %d: unbalanced '[' in %q", line, tok)
 		}
-		if _, err := fmt.Sscanf(tok[i+1:len(tok)-1], "%d", &e.outPort); err != nil {
-			return e, fmt.Errorf("click: line %d: bad output port in %q", line, tok)
+		var err error
+		if e.outPort, err = parsePort(tok[i+1:len(tok)-1], "output", orig, line); err != nil {
+			return e, err
 		}
 		tok = strings.TrimSpace(tok[:i])
 	}

@@ -134,6 +134,14 @@ func TestParseErrors(t *testing.T) {
 		{"garbage", "what is this;", "cannot parse"},
 		{"bad port", "a :: Counter; b :: Counter; a[x] -> b;", "bad output port"},
 		{"bad inport", "a :: Counter; b :: Counter; a -> [y]b;", "bad input port"},
+		// Sscanf("%d") used to accept both of these silently: trailing
+		// garbage parsed as the leading digits, and negative ports sailed
+		// straight through to Connect.
+		{"trailing garbage port", "a :: Counter; b :: Counter; a[1x] -> b;", "bad output port"},
+		{"negative out port", "a :: Counter; b :: Counter; a[-1] -> b;", "bad output port"},
+		{"negative in port", "a :: Counter; b :: Counter; a -> [-2]b;", "bad input port"},
+		{"huge port", "a :: Counter; b :: Counter; a[4096] -> b;", "bad output port"},
+		{"empty port", "a :: Counter; b :: Counter; a[] -> b;", "bad output port"},
 		{"double connect", "a :: Counter; b :: Counter; a -> b; a -> b;", "already connected"},
 		{"duplicate decl", "a :: Counter; a :: Counter;", "duplicate"},
 	}

@@ -9,16 +9,18 @@ import (
 	"routebricks/internal/pkt"
 )
 
-// This file is the placement planner: it takes a linear element pipeline
+// This file is the placement planner: it takes a Program — a whole
+// element graph with a per-chain instantiation protocol (program.go) —
 // plus a core count and materializes the paper's two §4.2 core
 // allocations as runnable plans.
 //
 //   - Parallel ("one core per queue, one core per packet"): every core
-//     gets its own clone of the full pipeline and its own input ring; a
+//     gets its own clone of the full graph and its own input ring; a
 //     packet is touched by exactly one core from poll to transmit.
-//   - Pipelined: the pipeline is cut into stages, each stage pinned to
-//     its own core, consecutive stages connected by exec.Ring SPSC
-//     handoff rings. Every stage boundary is a cross-core cache-line
+//   - Pipelined: the graph's trunk is cut into stages, each stage pinned
+//     to its own core, consecutive stages connected by exec.Ring SPSC
+//     handoff rings. Side branches stay on the core of the trunk element
+//     feeding them. Every stage boundary is a cross-core cache-line
 //     handoff — the cost the paper measured to conclude that parallel
 //     wins.
 //
@@ -70,12 +72,13 @@ func (si StageInstance) exit() Element {
 	return si.Entry
 }
 
-// StageSpec declares one stage of the logical pipeline. Make must
-// return a fresh, independent instance per call: the Parallel plan
-// calls it once per core (clone), the Pipelined plan once per chain.
-// chain identifies which replica the instance belongs to, so stages
-// can key per-replica state (a per-core VLB balancer, a per-core
-// counter) off it.
+// StageSpec declares one stage of a logical linear pipeline — the
+// legacy planner surface, kept as a thin shim over Program (see
+// ProgramFromStages). Make must return a fresh, independent instance
+// per call: the Parallel plan calls it once per core (clone), the
+// Pipelined plan once per chain. chain identifies which replica the
+// instance belongs to, so stages can key per-replica state (a per-core
+// VLB balancer, a per-core counter) off it.
 type StageSpec struct {
 	Name string
 	Make func(chain int) StageInstance
@@ -83,8 +86,17 @@ type StageSpec struct {
 
 // PlanConfig parameterizes a placement plan.
 type PlanConfig struct {
-	Kind   PlanKind
-	Cores  int
+	Kind  PlanKind
+	Cores int
+
+	// Program is the graph-first pipeline description: the planner
+	// instantiates one independent copy of the whole graph per chain and
+	// derives stage boundaries from the graph's trunk.
+	Program *Program
+
+	// Stages is the legacy linear surface; it is converted internally
+	// via ProgramFromStages. Exactly one of Program and Stages must be
+	// set.
 	Stages []StageSpec
 
 	// KP is the poll batch size (default 32, the paper's tuned kp).
@@ -94,8 +106,10 @@ type PlanConfig struct {
 	// HandoffCap sizes each inter-stage handoff ring (default 1024).
 	HandoffCap int
 	// Sink, when non-nil, builds a terminal element per chain and wires
-	// it after the last stage. When nil the last stage must be terminal
-	// (OutPorts 0) or its output is dropped silently.
+	// it after the trunk's last element — which must leave output 0
+	// dangling for it. When nil the graph must terminate itself
+	// (ToDevice, Discard, prebound sinks) or its trunk output is dropped
+	// silently.
 	Sink func(chain int) Element
 }
 
@@ -105,7 +119,7 @@ type PlanConfig struct {
 type CoreStat struct {
 	Core   int    // schedule core index
 	Chain  int    // which pipeline replica this core serves
-	Stages string // stage names executing on this core, "+"-joined
+	Stages string // trunk segment names executing on this core, "+"-joined
 
 	packets  atomic.Uint64 // packets pulled into this core
 	polls    atomic.Uint64 // poll attempts
@@ -126,8 +140,8 @@ func (s *CoreStat) Empty() uint64 { return s.empty.Load() }
 // ring (always 0 for parallel plans and final stages).
 func (s *CoreStat) Handoffs() uint64 { return s.handoffs.Load() }
 
-// Plan is a materialized core allocation: elements built and wired,
-// rings allocated, tasks bound to schedule cores.
+// Plan is a materialized core allocation: graphs instantiated per
+// chain, rings allocated, tasks bound to schedule cores.
 type Plan struct {
 	kind   PlanKind
 	cores  int
@@ -135,31 +149,38 @@ type Plan struct {
 	sched  *Schedule
 	runner *Runner
 
-	inputs   []*exec.Ring // one per chain; callers feed these
-	handoffs []*exec.Ring // pipelined only: all inter-stage rings
-	stats    []*CoreStat
+	inputs    []*exec.Ring // one per chain; callers feed these
+	handoffs  []*exec.Ring // pipelined only: all inter-stage rings
+	stats     []*CoreStat
+	instances []*Instance // one per chain, in chain order
 	// lost counts packets the plan itself recycled because a handoff
 	// ring rejected them — possible only when a stage emits more packets
 	// than it polled, since polling is capped by downstream free space.
 	lost atomic.Uint64
 }
 
-// NewPlan materializes a placement plan. Parallel uses every core as an
-// independent chain. Pipelined groups the stages onto G = min(cores,
-// stages) consecutive cores per chain and replicates the chain
-// cores/G times; cores beyond chains×G are left idle (they appear in
-// the schedule with no tasks).
+// NewPlan materializes a placement plan from a Program (or the legacy
+// Stages shim). Parallel uses every core as an independent chain.
+// Pipelined cuts the trunk into G = min(cores, cuttable segments)
+// groups of consecutive cores per chain — cuts land only on boundaries
+// the graph topology allows — and replicates the chain cores/G times;
+// cores beyond chains×G are left idle (they appear in the schedule with
+// no tasks).
 func NewPlan(cfg PlanConfig) (*Plan, error) {
 	if cfg.Cores < 1 {
 		return nil, fmt.Errorf("click: plan needs at least 1 core, got %d", cfg.Cores)
 	}
-	if len(cfg.Stages) == 0 {
-		return nil, fmt.Errorf("click: plan needs at least 1 stage")
-	}
-	for i, st := range cfg.Stages {
-		if st.Make == nil {
-			return nil, fmt.Errorf("click: stage %d (%q) has nil Make", i, st.Name)
+	prog := cfg.Program
+	if prog == nil {
+		if len(cfg.Stages) == 0 {
+			return nil, fmt.Errorf("click: plan needs a Program (or at least 1 stage)")
 		}
+		prog = ProgramFromStages(cfg.Stages)
+	} else if len(cfg.Stages) > 0 {
+		return nil, fmt.Errorf("click: plan takes a Program or Stages, not both")
+	}
+	if cfg.Kind != Parallel && cfg.Kind != Pipelined {
+		return nil, fmt.Errorf("click: unknown plan kind %d", int(cfg.Kind))
 	}
 	if cfg.KP <= 0 {
 		cfg.KP = 32
@@ -171,74 +192,100 @@ func NewPlan(cfg PlanConfig) (*Plan, error) {
 		cfg.HandoffCap = 1024
 	}
 
+	// Chain 0's instance reveals the graph geometry (segment count, cut
+	// constraints); every further chain must match it.
+	first, err := prog.Instantiate(0)
+	if err != nil {
+		return nil, err
+	}
+
 	p := &Plan{kind: cfg.Kind, cores: cfg.Cores, sched: NewSchedule(cfg.Cores)}
+	instance := func(chain int) (*Instance, error) {
+		if chain == 0 {
+			return first, nil
+		}
+		in, err := prog.Instantiate(chain)
+		if err != nil {
+			return nil, err
+		}
+		// The plan's geometry (groups, cut points) comes from chain 0; a
+		// chain with a different trunk length or different cut
+		// constraints would be cut somewhere its own topology forbids.
+		if len(in.segs) != len(first.segs) {
+			return nil, fmt.Errorf("click: program chain %d has %d trunk segments, chain 0 has %d — Build must be structurally deterministic",
+				chain, len(in.segs), len(first.segs))
+		}
+		for b, forbidden := range in.noCut {
+			if forbidden != first.noCut[b] {
+				return nil, fmt.Errorf("click: program chain %d allows different trunk cuts than chain 0 (boundary %d) — Build must be structurally deterministic",
+					chain, b)
+			}
+		}
+		return in, nil
+	}
 	switch cfg.Kind {
 	case Parallel:
 		p.chains = cfg.Cores
 		for c := 0; c < cfg.Cores; c++ {
-			if err := p.buildChain(cfg, c, []int{c}); err != nil {
+			in, err := instance(c)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.buildChain(cfg, c, []int{c}, in); err != nil {
 				return nil, err
 			}
 		}
 	case Pipelined:
-		groups := min(cfg.Cores, len(cfg.Stages))
+		groups := min(cfg.Cores, cuttableGroups(first.noCut))
 		p.chains = cfg.Cores / groups
 		for ch := 0; ch < p.chains; ch++ {
+			in, err := instance(ch)
+			if err != nil {
+				return nil, err
+			}
 			coreSet := make([]int, groups)
 			for g := range coreSet {
 				coreSet[g] = ch*groups + g
 			}
-			if err := p.buildChain(cfg, ch, coreSet); err != nil {
+			if err := p.buildChain(cfg, ch, coreSet, in); err != nil {
 				return nil, err
 			}
 		}
-	default:
-		return nil, fmt.Errorf("click: unknown plan kind %d", int(cfg.Kind))
 	}
 	p.runner = NewRunner(p.sched)
 	return p, nil
 }
 
 // buildChain materializes one pipeline replica across the given cores:
-// all stages on one core for parallel chains, stages grouped
-// contiguously across len(cores) cores (joined by handoff rings) for
-// pipelined ones.
-func (p *Plan) buildChain(cfg PlanConfig, chain int, cores []int) error {
+// the whole graph on one core for parallel chains, trunk segments
+// grouped contiguously across len(cores) cores (joined by handoff
+// rings at the cut boundaries) for pipelined ones. The instance's graph
+// arrives fully wired; cutting a boundary rewires the upstream trunk
+// element's output 0 from its synchronous binding into a handoff ring.
+func (p *Plan) buildChain(cfg PlanConfig, chain int, cores []int, in *Instance) error {
 	input := exec.NewRing(cfg.InputCap)
 	p.inputs = append(p.inputs, input)
+	p.instances = append(p.instances, in)
 
-	// Build every stage instance and wire the intra-group connections;
-	// group boundaries get an SPSC handoff ring instead.
 	groups := len(cores)
-	bounds := groupBounds(len(cfg.Stages), groups)
-	instances := make([]StageInstance, len(cfg.Stages))
-	for i, st := range cfg.Stages {
-		instances[i] = st.Make(chain)
-		if instances[i].Entry == nil {
-			return fmt.Errorf("click: stage %q returned nil Entry", st.Name)
-		}
-	}
-
+	bounds := chooseBounds(len(in.segs), groups, in.noCut)
 	upstream := input
 	for g := 0; g < groups; g++ {
 		lo, hi := bounds[g], bounds[g+1]
-		// Wire stages within the group by direct synchronous dispatch.
-		for i := lo; i < hi-1; i++ {
-			if err := wireStage(instances[i].exit(), instances[i+1].Entry); err != nil {
-				return fmt.Errorf("click: stage %q: %w", cfg.Stages[i].Name, err)
-			}
-		}
 		var downstream *exec.Ring
-		last := instances[hi-1].exit()
+		last := in.segs[hi-1].exit()
 		if g < groups-1 {
-			// Cross-core boundary: the group's last stage emits into a
+			// Cut boundary: the group's last trunk element emits into a
 			// handoff ring polled by the next core.
 			downstream = exec.NewRing(cfg.HandoffCap)
 			p.handoffs = append(p.handoffs, downstream)
 			if err := p.wireRing(last, downstream); err != nil {
-				return fmt.Errorf("click: stage %q: %w", cfg.Stages[hi-1].Name, err)
+				return fmt.Errorf("click: segment %q: %w", in.names[hi-1], err)
 			}
 		} else if cfg.Sink != nil {
+			if bound, ok := last.(interface{ Connected(int) bool }); ok && bound.Connected(0) {
+				return fmt.Errorf("click: Sink configured but trunk end %q already connects output 0", in.names[hi-1])
+			}
 			sink := cfg.Sink(chain)
 			if sink == nil {
 				return fmt.Errorf("click: Sink(%d) returned nil", chain)
@@ -248,13 +295,9 @@ func (p *Plan) buildChain(cfg PlanConfig, chain int, cores []int) error {
 			}
 		}
 
-		names := make([]string, 0, hi-lo)
-		for i := lo; i < hi; i++ {
-			names = append(names, cfg.Stages[i].Name)
-		}
-		stat := &CoreStat{Core: cores[g], Chain: chain, Stages: strings.Join(names, "+")}
+		stat := &CoreStat{Core: cores[g], Chain: chain, Stages: strings.Join(in.names[lo:hi], "+")}
 		p.stats = append(p.stats, stat)
-		p.sched.MustBind(cores[g], pollTask(upstream, downstream, instances[lo].Entry, cfg.KP, stat))
+		p.sched.MustBind(cores[g], pollTask(upstream, downstream, in.segs[lo].Entry, cfg.KP, stat))
 		upstream = downstream
 	}
 	return nil
@@ -307,7 +350,8 @@ func wireStage(from, to Element) error {
 	return nil
 }
 
-// wireRing connects from's output port 0 to an SPSC handoff ring. With
+// wireRing connects from's output port 0 to an SPSC handoff ring,
+// replacing any synchronous binding the graph wiring installed. With
 // backpressure-capped polling the ring cannot overflow from pass-through
 // traffic; packets a stage *generates* beyond what it polled can still
 // overflow, in which case they are counted as plan losses and recycled.
@@ -335,21 +379,6 @@ func (p *Plan) wireRing(from Element, ring *exec.Ring) error {
 	return nil
 }
 
-// groupBounds splits n stages into g contiguous groups as evenly as
-// possible and returns the g+1 boundary indices.
-func groupBounds(n, g int) []int {
-	bounds := make([]int, g+1)
-	base, extra := n/g, n%g
-	for i := 0; i < g; i++ {
-		size := base
-		if i < extra {
-			size++
-		}
-		bounds[i+1] = bounds[i] + size
-	}
-	return bounds
-}
-
 // Kind reports the allocation this plan materializes.
 func (p *Plan) Kind() PlanKind { return p.kind }
 
@@ -366,6 +395,13 @@ func (p *Plan) Input(i int) *exec.Ring { return p.inputs[i] }
 
 // Inputs returns all input rings, one per chain.
 func (p *Plan) Inputs() []*exec.Ring { return p.inputs }
+
+// Instance returns chain i's materialized graph copy.
+func (p *Plan) Instance(i int) *Instance { return p.instances[i] }
+
+// Router returns chain i's element graph, or nil when the plan was
+// built from the legacy stage shim.
+func (p *Plan) Router(i int) *Router { return p.instances[i].router }
 
 // Stats returns the per-core counter blocks, in core order.
 func (p *Plan) Stats() []*CoreStat { return p.stats }

@@ -31,6 +31,12 @@ type node struct {
 	engines []*txEngine
 	failed  bool
 
+	// ingressProg stamps out one independent copy of the ingress element
+	// graph per core — the same per-chain instantiation protocol the
+	// placement planner uses, so simulator pipelines and planner chains
+	// are built by one mechanism.
+	ingressProg *click.Program
+
 	ttlDiscard  elements.Discard
 	hdrDiscard  elements.Discard
 	missDiscard elements.Discard
@@ -70,7 +76,56 @@ func newNode(c *Cluster, id int) *node {
 		Flowlets:    cfg.Flowlets,
 		Seed:        cfg.Seed,
 	})
+	n.ingressProg = n.ingressProgram()
 	return n
+}
+
+// ingressProgram builds the node's ingress datapath as a click.Program:
+// CheckIPHeader → LPMLookup → DecIPTTL → vlbIngress, with the error
+// ports bound to the node's shared recycling discards (safe here: the
+// simulator's event loop is single-threaded, and the discards count
+// atomically anyway). Each chain is one core's independent copy; the
+// chain index doubles as the core (and so TX queue) index.
+func (n *node) ingressProgram() *click.Program {
+	return click.NewProgram(func(chain int) (*click.Router, error) {
+		r := click.NewRouter()
+		check := &elements.CheckIPHeader{}
+		look := elements.NewLPMLookup(n.c.table)
+		ttl := &elements.DecIPTTL{}
+		ing := &vlbIngress{n: n, idx: chain}
+		ing.build()
+		for _, add := range []struct {
+			name string
+			el   click.Element
+		}{{"check", check}, {"route", look}, {"ttl", ttl}, {"vlb", ing}} {
+			if err := r.Add(add.name, add.el); err != nil {
+				return nil, err
+			}
+		}
+		for _, c := range [][2]string{{"check", "route"}, {"route", "ttl"}, {"ttl", "vlb"}} {
+			if err := r.Connect(c[0], 0, c[1], 0); err != nil {
+				return nil, err
+			}
+		}
+		check.SetOutput(1, func(ctx *click.Context, p *pkt.Packet) { n.hdrDiscard.Push(ctx, 0, p) })
+		look.SetOutput(1, func(ctx *click.Context, p *pkt.Packet) { n.missDiscard.Push(ctx, 0, p) })
+		ttl.SetOutput(1, func(ctx *click.Context, p *pkt.Packet) {
+			n.c.ttlDrops++
+			n.ttlDiscard.Push(ctx, 0, p)
+		})
+		return r, nil
+	})
+}
+
+// transitProgram builds one core's transit datapath as a click.Program
+// keyed on the steering queue: queue q carries output node q mod Nodes.
+func (n *node) transitProgram(coreIdx int) *click.Program {
+	return click.NewProgram(func(q int) (*click.Router, error) {
+		r := click.NewRouter()
+		tr := &vlbTransit{n: n, idx: coreIdx, outNode: q % n.c.cfg.Nodes}
+		tr.build()
+		return r, r.Add("transit", tr)
+	})
 }
 
 // start builds per-core pipelines and transmit engines and schedules
@@ -140,26 +195,18 @@ func newCore(n *node, idx int) *core {
 	cfg := n.c.cfg
 
 	// Ingress pipeline: external queue idx → CheckIPHeader → LPMLookup →
-	// DecIPTTL → vlbIngress → per-destination ToDevice. The good path is
-	// wired batch-to-batch, so one kp-packet poll travels the whole
-	// pipeline as a single dispatch per hop; error ports (rare) divert
-	// per packet into the recycling discards.
-	ing := &vlbIngress{core: c}
-	ing.build()
-	look := elements.NewLPMLookup(n.c.table)
-	check := &elements.CheckIPHeader{}
-	ttl := &elements.DecIPTTL{}
+	// DecIPTTL → vlbIngress → per-destination ToDevice, instantiated as
+	// this core's chain of the node's ingress Program — the same
+	// stamp-one-copy-per-chain protocol click.NewPlan uses. The good
+	// path is wired batch-to-batch by Router.Connect, so one kp-packet
+	// poll travels the whole pipeline as a single dispatch per hop;
+	// error ports (rare) divert per packet into the recycling discards.
+	inst, err := n.ingressProg.Instantiate(idx)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: ingress program: %v", err))
+	}
 	poll := elements.NewPollDevice(n.ext.RX(idx), cfg.KP)
-	poll.SetBatchOutput(0, click.BatchDispatch(check, 0))
-	check.SetBatchOutput(0, click.BatchDispatch(look, 0))
-	check.SetOutput(1, func(ctx *click.Context, p *pkt.Packet) { n.hdrDiscard.Push(ctx, 0, p) })
-	look.SetBatchOutput(0, click.BatchDispatch(ttl, 0))
-	look.SetOutput(1, func(ctx *click.Context, p *pkt.Packet) { n.missDiscard.Push(ctx, 0, p) })
-	ttl.SetBatchOutput(0, click.BatchDispatch(ing, 0))
-	ttl.SetOutput(1, func(ctx *click.Context, p *pkt.Packet) {
-		n.c.ttlDrops++
-		n.ttlDiscard.Push(ctx, 0, p)
-	})
+	poll.SetBatchOutput(0, click.BatchDispatch(inst.Entry(), 0))
 	n.sched.MustBind(idx, poll)
 
 	// Transit pipelines: queue q of an internal port carries packets
@@ -169,6 +216,7 @@ func newCore(n *node, idx int) *core {
 	// as many cores as the node has internal ports, while each queue
 	// still has exactly one core (§4.2's rule).
 	cores := cfg.Spec.Cores()
+	transit := n.transitProgram(idx)
 	for j, p := range n.peersIn {
 		if p == nil {
 			continue
@@ -177,10 +225,12 @@ func newCore(n *node, idx int) *core {
 		if q >= cfg.Nodes*n.c.splitFactor() {
 			continue // MAC steering uses only Nodes×split queues
 		}
-		tr := &vlbTransit{core: c, outNode: q % cfg.Nodes}
-		tr.build()
+		tinst, err := transit.Instantiate(q)
+		if err != nil {
+			panic(fmt.Sprintf("cluster: transit program: %v", err))
+		}
 		tpoll := elements.NewPollDevice(p.RX(q), cfg.KP)
-		tpoll.SetBatchOutput(0, click.BatchDispatch(tr, 0))
+		tpoll.SetBatchOutput(0, click.BatchDispatch(tinst.Entry(), 0))
 		n.sched.MustBind(idx, tpoll)
 	}
 	return c
@@ -211,7 +261,8 @@ func (c *core) step() {
 // destination MAC, and queues the packet toward the chosen next node.
 type vlbIngress struct {
 	click.Base
-	core  *core
+	n     *node
+	idx   int // core (and so TX queue) index
 	toExt *elements.ToDevice
 	to    []*elements.ToDevice // per peer node
 
@@ -222,17 +273,17 @@ type vlbIngress struct {
 }
 
 func (v *vlbIngress) build() {
-	n := v.core.n
+	n := v.n
 	kn := n.c.cfg.KN
 	kp := n.c.cfg.KP
-	v.toExt = elements.NewToDevice(n.ext.TX(v.core.idx), kn)
+	v.toExt = elements.NewToDevice(n.ext.TX(v.idx), kn)
 	v.toExt.Recycle = pkt.DefaultPool
 	v.scratchExt = pkt.NewBatch(kp)
 	v.to = make([]*elements.ToDevice, n.c.cfg.Nodes)
 	v.scratch = make([]*pkt.Batch, n.c.cfg.Nodes)
 	for j, p := range n.peersIn {
 		if p != nil {
-			v.to[j] = elements.NewToDevice(p.TX(v.core.idx), kn)
+			v.to[j] = elements.NewToDevice(p.TX(v.idx), kn)
 			v.to[j].Recycle = pkt.DefaultPool
 			v.scratch[j] = pkt.NewBatch(kp)
 		}
@@ -247,7 +298,7 @@ func (v *vlbIngress) OutPorts() int { return 0 }
 
 // Push routes the packet into the cluster.
 func (v *vlbIngress) Push(ctx *click.Context, _ int, p *pkt.Packet) {
-	n := v.core.n
+	n := v.n
 	if n.c.cfg.Flowlets {
 		ctx.Charge(hw.ReorderTaxCycles)
 	}
@@ -259,7 +310,7 @@ func (v *vlbIngress) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 // rewriting the steering MAC — and returns the chosen next node (-1 for
 // the local external port) with its transmit element.
 func (v *vlbIngress) route(ctx *click.Context, p *pkt.Packet) (int, *elements.ToDevice) {
-	n := v.core.n
+	n := v.n
 	out := p.NextHop // output node, resolved by LPMLookup against the FIB
 	p.VLBPhase = 1
 	if out == n.id {
@@ -284,7 +335,7 @@ func (v *vlbIngress) route(ctx *click.Context, p *pkt.Packet) (int, *elements.To
 // per-destination batches so each transmit ring sees one bulk enqueue —
 // the TX side of the paper's kn batching as a code path.
 func (v *vlbIngress) PushBatch(ctx *click.Context, _ int, b *pkt.Batch) {
-	n := v.core.n
+	n := v.n
 	cnt := b.Compact()
 	if cnt == 0 {
 		return
@@ -317,20 +368,21 @@ func (v *vlbIngress) PushBatch(ctx *click.Context, _ int, b *pkt.Batch) {
 // or out the external port (egress) without header processing.
 type vlbTransit struct {
 	click.Base
-	core    *core
+	n       *node
+	idx     int // core (and so TX queue) index
 	outNode int
 	toExt   *elements.ToDevice
 	toPeer  *elements.ToDevice
 }
 
 func (v *vlbTransit) build() {
-	n := v.core.n
+	n := v.n
 	kn := n.c.cfg.KN
 	if v.outNode == n.id {
-		v.toExt = elements.NewToDevice(n.ext.TX(v.core.idx), kn)
+		v.toExt = elements.NewToDevice(n.ext.TX(v.idx), kn)
 		v.toExt.Recycle = pkt.DefaultPool
 	} else {
-		v.toPeer = elements.NewToDevice(n.peersIn[v.outNode].TX(v.core.idx), kn)
+		v.toPeer = elements.NewToDevice(n.peersIn[v.outNode].TX(v.idx), kn)
 		v.toPeer.Recycle = pkt.DefaultPool
 	}
 }

@@ -2,6 +2,7 @@ package elements
 
 import (
 	"fmt"
+	"net/netip"
 	"strconv"
 
 	"routebricks/internal/click"
@@ -9,10 +10,14 @@ import (
 )
 
 // StandardRegistry exposes the element library to Click-language
-// configurations (click.ParseConfig). Elements that need runtime
-// resources — device rings, route tables, crypto tunnels — are passed to
-// the parser as prebound instances instead of being constructed from
-// text.
+// configurations (click.ParseConfig / click.ParseProgram). Every
+// zero-resource element in the library has a factory here; elements
+// that need runtime resources — device rings (PollDevice, ToDevice,
+// RED), route tables (LPMLookup), crypto tunnels (ESPEncap/ESPDecap),
+// capture writers (Tap) — are passed to the parser as prebound
+// instances instead of being constructed from text. The completeness
+// test in registry_test.go reflects over the package so a new element
+// cannot silently go unregisterable.
 func StandardRegistry() click.Registry {
 	return click.Registry{
 		"Counter": func(args []string) (click.Element, error) {
@@ -104,6 +109,76 @@ func StandardRegistry() click.Registry {
 				return nil, err
 			}
 			return NewReassembler(), nil
+		},
+		"Sink": func(args []string) (click.Element, error) {
+			if err := arity("Sink", args, 0); err != nil {
+				return nil, err
+			}
+			return &Sink{}, nil
+		},
+		"Shaper": func(args []string) (click.Element, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("Shaper takes (rate-bps, burst-bytes), got %d arguments", len(args))
+			}
+			rate, err := strconv.ParseFloat(args[0], 64)
+			if err != nil || rate <= 0 {
+				return nil, fmt.Errorf("Shaper: bad rate %q", args[0])
+			}
+			burst, err := strconv.ParseFloat(args[1], 64)
+			if err != nil || burst <= 0 {
+				return nil, fmt.Errorf("Shaper: bad burst %q", args[1])
+			}
+			return NewShaper(rate, burst), nil
+		},
+		"ICMPError": func(args []string) (click.Element, error) {
+			if len(args) != 3 {
+				return nil, fmt.Errorf("ICMPError takes (src-ip, type, code), got %d arguments", len(args))
+			}
+			src, err := netip.ParseAddr(args[0])
+			if err != nil || !src.Is4() {
+				return nil, fmt.Errorf("ICMPError: bad source address %q", args[0])
+			}
+			typ, err := strconv.ParseUint(args[1], 0, 8)
+			if err != nil {
+				return nil, fmt.Errorf("ICMPError: bad type %q", args[1])
+			}
+			code, err := strconv.ParseUint(args[2], 0, 8)
+			if err != nil {
+				return nil, fmt.Errorf("ICMPError: bad code %q", args[2])
+			}
+			return NewICMPError(src, uint8(typ), uint8(code)), nil
+		},
+		"ARPResponder": func(args []string) (click.Element, error) {
+			if len(args) < 2 {
+				return nil, fmt.Errorf("ARPResponder takes (node, ip...), got %d arguments", len(args))
+			}
+			node, err := strconv.Atoi(args[0])
+			if err != nil {
+				return nil, fmt.Errorf("ARPResponder: bad node %q", args[0])
+			}
+			addrs := make([]netip.Addr, 0, len(args)-1)
+			for _, a := range args[1:] {
+				ip, err := netip.ParseAddr(a)
+				if err != nil || !ip.Is4() {
+					return nil, fmt.Errorf("ARPResponder: bad address %q", a)
+				}
+				addrs = append(addrs, ip)
+			}
+			return NewARPResponder(pkt.NodeMAC(node), addrs...), nil
+		},
+		"ARPQuerier": func(args []string) (click.Element, error) {
+			if len(args) != 2 {
+				return nil, fmt.Errorf("ARPQuerier takes (node, ip), got %d arguments", len(args))
+			}
+			node, err := strconv.Atoi(args[0])
+			if err != nil {
+				return nil, fmt.Errorf("ARPQuerier: bad node %q", args[0])
+			}
+			ip, err := netip.ParseAddr(args[1])
+			if err != nil || !ip.Is4() {
+				return nil, fmt.Errorf("ARPQuerier: bad address %q", args[1])
+			}
+			return NewARPQuerier(pkt.NodeMAC(node), ip), nil
 		},
 		"Classifier": func(args []string) (click.Element, error) {
 			if len(args) == 0 {

@@ -1,0 +1,192 @@
+package routebricks
+
+import (
+	"fmt"
+
+	"routebricks/internal/click"
+	"routebricks/internal/elements"
+	"routebricks/internal/exec"
+	"routebricks/internal/pkt"
+)
+
+// This file is the graph-first public surface: Load takes a router
+// written in the Click configuration language and materializes it as a
+// multi-core placement plan — the paper's programmability claim ("fully
+// programmable using the familiar Click/Linux environment", §1) joined
+// to its parallelism claim (§4.2's core allocations) behind one call.
+
+// Element is a Click packet-processing module (see internal/click).
+type Element = click.Element
+
+// Registry maps element class names to factories for Click-language
+// configurations.
+type Registry = click.Registry
+
+// Router is a named element graph.
+type Router = click.Router
+
+// Packet is the framework's packet buffer.
+type Packet = pkt.Packet
+
+// Ring is the lock-free SPSC packet ring used for plan inputs.
+type Ring = exec.Ring
+
+// CoreStat is the per-core counter block of a running pipeline.
+type CoreStat = click.CoreStat
+
+// PlanKind selects the §4.2 core allocation for a loaded pipeline.
+type PlanKind = click.PlanKind
+
+// The two §4.2 core allocations.
+const (
+	// Parallel clones the whole graph onto every core ("one core per
+	// queue, one core per packet") — the paper's winning allocation.
+	Parallel = click.Parallel
+	// Pipelined cuts the graph's trunk into per-core stages joined by
+	// SPSC handoff rings.
+	Pipelined = click.Pipelined
+)
+
+// Options parameterizes Load.
+type Options struct {
+	// Cores is the number of datapath cores (default 1).
+	Cores int
+	// Placement picks the core allocation (default Parallel).
+	Placement PlanKind
+	// KP is the poll batch size (default 32, the paper's tuned kp).
+	KP int
+	// InputCap sizes each chain's input ring (default 4096);
+	// HandoffCap each inter-stage handoff ring (default 1024).
+	InputCap   int
+	HandoffCap int
+	// Registry resolves element classes in the Click text (default
+	// elements.StandardRegistry — the full zero-resource library).
+	Registry Registry
+	// Prebound supplies ready-made element instances addressable by
+	// name from the Click text — route tables bound to FIBs, device
+	// rings, VLB balancers. It is called once per chain so per-core
+	// resources come out independent by construction; instances that
+	// are shared across chains must be safe for concurrent use.
+	Prebound func(chain int) map[string]Element
+	// Entry names the graph's entry element when auto-detection (the
+	// unique element with no incoming connections) is ambiguous.
+	Entry string
+	// Sink, when non-nil, builds a terminal element per chain and wires
+	// it after the trunk's dangling last output.
+	Sink func(chain int) Element
+}
+
+// Pipeline is a loaded, placed, runnable Click program.
+type Pipeline struct {
+	plan *click.Plan
+	ctx  click.Context // deterministic-stepping context (Step)
+}
+
+// Load parses a Click-language configuration and materializes it across
+// opts.Cores cores under the chosen placement. The graph is
+// instantiated once per chain — every core of a Parallel plan runs an
+// independent copy of the whole graph; a Pipelined plan cuts the
+// graph's trunk across cores wherever the topology allows (side
+// branches stay with the trunk element that feeds them).
+//
+// The returned pipeline is idle: feed packets into Input(chain) /
+// Push and call Start (real goroutines) or Step (deterministic,
+// single-threaded) to move them.
+func Load(clickText string, opts Options) (*Pipeline, error) {
+	if opts.Cores == 0 {
+		opts.Cores = 1
+	}
+	if opts.Cores < 0 {
+		return nil, fmt.Errorf("routebricks: Cores must be positive, got %d", opts.Cores)
+	}
+	reg := opts.Registry
+	if reg == nil {
+		reg = elements.StandardRegistry()
+	}
+	prog := click.ParseProgram(clickText, reg, opts.Prebound)
+	prog.Entry = opts.Entry
+	plan, err := click.NewPlan(click.PlanConfig{
+		Kind:       opts.Placement,
+		Cores:      opts.Cores,
+		Program:    prog,
+		KP:         opts.KP,
+		InputCap:   opts.InputCap,
+		HandoffCap: opts.HandoffCap,
+		Sink:       opts.Sink,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{plan: plan}, nil
+}
+
+// Start launches the pipeline's cores as real goroutines.
+func (p *Pipeline) Start() error { return p.plan.Start() }
+
+// Stop halts the cores and waits for them to exit.
+func (p *Pipeline) Stop() { p.plan.Stop() }
+
+// Step executes one quantum of every core synchronously on the calling
+// goroutine — the deterministic execution mode for tests and
+// simulations. It reports packets moved and must not be mixed with
+// Start.
+func (p *Pipeline) Step() int {
+	n := 0
+	for core := 0; core < p.plan.Cores(); core++ {
+		n += p.plan.RunStep(core, &p.ctx)
+	}
+	p.ctx.TakeCycles()
+	return n
+}
+
+// Chains reports the number of independent graph replicas (== Cores
+// for parallel placements).
+func (p *Pipeline) Chains() int { return p.plan.Chains() }
+
+// Cores reports the plan width.
+func (p *Pipeline) Cores() int { return p.plan.Cores() }
+
+// Input returns chain i's input ring. Each ring is single-producer:
+// feed it from exactly one goroutine.
+func (p *Pipeline) Input(i int) *Ring { return p.plan.Input(i) }
+
+// Push feeds one packet to chain i, reporting false when the ring is
+// full (the caller keeps ownership of a rejected packet).
+func (p *Pipeline) Push(i int, pk *Packet) bool { return p.plan.Input(i).Push(pk) }
+
+// Router returns chain i's element graph, for inspection (counters,
+// per-chain state) and DOT export.
+func (p *Pipeline) Router(i int) *Router { return p.plan.Router(i) }
+
+// Element returns the named element of chain i's graph, or nil.
+func (p *Pipeline) Element(chain int, name string) Element {
+	if r := p.plan.Router(chain); r != nil {
+		return r.Get(name)
+	}
+	return nil
+}
+
+// Stats returns the per-core counter blocks, in core order.
+func (p *Pipeline) Stats() []*CoreStat { return p.plan.Stats() }
+
+// Drops reports packets the plan itself lost to handoff-ring overflow
+// (0 in steady state: polling is backpressure-capped).
+func (p *Pipeline) Drops() uint64 { return p.plan.Drops() }
+
+// Queued reports packets currently sitting in the pipeline's rings.
+func (p *Pipeline) Queued() int { return p.plan.Queued() }
+
+// Describe renders the placement map: which trunk segments run on
+// which core, and where the handoff rings sit.
+func (p *Pipeline) Describe() string { return p.plan.Describe() }
+
+// DOT renders chain 0's element graph in Graphviz format.
+func (p *Pipeline) DOT() string {
+	if r := p.plan.Router(0); r != nil {
+		return r.DOT()
+	}
+	return ""
+}
+
+// Plan exposes the underlying placement plan for advanced callers.
+func (p *Pipeline) Plan() *click.Plan { return p.plan }

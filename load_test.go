@@ -1,0 +1,290 @@
+package routebricks
+
+import (
+	"fmt"
+	"net/netip"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"routebricks/internal/click"
+	"routebricks/internal/elements"
+	"routebricks/internal/lpm"
+	"routebricks/internal/pkt"
+)
+
+// branchyConfig is a Click-language program with one multi-output
+// element per trunk hop, each side output routed to its own terminal —
+// the graph shape the graph-first planner exists for.
+const branchyConfig = `
+	// IP forwarding with per-cause accounting; fib and the four
+	// terminals are prebound by the host.
+	check :: CheckIPHeader;
+	rt    :: LPMLookup(fib);
+	ttl   :: DecIPTTL;
+	good  :: Counter;
+
+	check[0] -> rt;
+	check[1] -> badhdr;
+	rt[0]    -> ttl;
+	rt[1]    -> badroute;
+	ttl[0]   -> good;
+	ttl[1]   -> expired;
+	good     -> out;
+`
+
+// equivTerminals is one chain's set of counting terminals.
+type equivTerminals struct {
+	out, badhdr, badroute, expired *elements.Sink
+}
+
+func newEquivTerminals() *equivTerminals {
+	return &equivTerminals{
+		out: &elements.Sink{}, badhdr: &elements.Sink{},
+		badroute: &elements.Sink{}, expired: &elements.Sink{},
+	}
+}
+
+func (e *equivTerminals) prebound(table *lpm.Dir248) map[string]Element {
+	return map[string]Element{
+		"fib":      elements.NewLPMLookup(table),
+		"out":      e.out,
+		"badhdr":   e.badhdr,
+		"badroute": e.badroute,
+		"expired":  e.expired,
+	}
+}
+
+// counts returns (delivered, badHeader, routeMiss, ttlExpired).
+func (e *equivTerminals) counts() [4]uint64 {
+	return [4]uint64{e.out.Count(), e.badhdr.Count(), e.badroute.Count(), e.expired.Count()}
+}
+
+func (e *equivTerminals) total() uint64 {
+	c := e.counts()
+	return c[0] + c[1] + c[2] + c[3]
+}
+
+// equivPackets builds a deterministic mixed workload: i%4 selects
+// routed, bad-checksum, route-miss, or TTL-expiring packets.
+func equivPackets(n int) []*pkt.Packet {
+	src := netip.MustParseAddr("10.1.0.9")
+	out := make([]*pkt.Packet, n)
+	for i := range out {
+		dst := netip.AddrFrom4([4]byte{10, 0, byte(i >> 8), byte(i)})
+		if i%4 == 2 {
+			dst = netip.AddrFrom4([4]byte{172, 16, 0, byte(i)}) // not in the FIB
+		}
+		p := pkt.New(128, src, dst, uint16(1000+i%512), 80)
+		h := p.IPv4()
+		switch i % 4 {
+		case 1: // stale checksum: CheckIPHeader must divert it
+			h.SetTTL(77)
+		case 3: // expires at DecIPTTL
+			h.SetTTL(1)
+			h.UpdateChecksum()
+		default:
+			h.SetTTL(64)
+			h.UpdateChecksum()
+		}
+		p.SeqNo = uint64(i)
+		out[i] = p
+	}
+	return out
+}
+
+func equivTable(t testing.TB) *lpm.Dir248 {
+	t.Helper()
+	table := lpm.NewDir248()
+	if err := table.Insert(netip.MustParsePrefix("10.0.0.0/16"), 1); err != nil {
+		t.Fatal(err)
+	}
+	table.Freeze()
+	return table
+}
+
+// TestLoadEquivalence proves the graph-level contract: the branchy
+// program run through routebricks.Load at 1/2/4 cores, under both
+// placements, on real goroutines, delivers the identical per-port
+// packet counts as the same graph stepped single-threaded on a plain
+// Router. Run under -race this is also the concurrency gate for the
+// graph planner.
+func TestLoadEquivalence(t *testing.T) {
+	const n = 8192
+	table := equivTable(t)
+
+	// Reference: the same Click text on a plain single-core Router.
+	ref := newEquivTerminals()
+	router, err := click.ParseConfig(branchyConfig, elements.StandardRegistry(), ref.prebound(table))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := router.Get("check")
+	ctx := &click.Context{}
+	for _, p := range equivPackets(n) {
+		entry.Push(ctx, 0, p)
+	}
+	want := ref.counts()
+	if ref.total() != n {
+		t.Fatalf("reference counts %v don't cover all %d packets", want, n)
+	}
+	for i, w := range want {
+		if w == 0 {
+			t.Fatalf("reference class %d empty — the workload no longer exercises every port", i)
+		}
+	}
+
+	for _, kind := range []PlanKind{Parallel, Pipelined} {
+		for _, cores := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/cores=%d", kind, cores), func(t *testing.T) {
+				var chains []*equivTerminals
+				pipe, err := Load(branchyConfig, Options{
+					Cores:     cores,
+					Placement: kind,
+					Prebound: func(chain int) map[string]Element {
+						term := newEquivTerminals()
+						chains = append(chains, term)
+						return term.prebound(table)
+					},
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := pipe.Start(); err != nil {
+					t.Fatal(err)
+				}
+				defer pipe.Stop()
+
+				total := func() uint64 {
+					var s uint64
+					for _, term := range chains {
+						s += term.total()
+					}
+					return s
+				}
+				deadline := time.Now().Add(30 * time.Second)
+				packets := equivPackets(n)
+				for fed := 0; fed < n; {
+					if pipe.Push(fed%pipe.Chains(), packets[fed]) {
+						fed++
+					} else {
+						runtime.Gosched()
+					}
+					if time.Now().After(deadline) {
+						t.Fatalf("feed stalled at %d/%d", fed, n)
+					}
+				}
+				for total() < n {
+					runtime.Gosched()
+					if time.Now().After(deadline) {
+						t.Fatalf("delivered %d/%d before deadline", total(), n)
+					}
+				}
+
+				if pipe.Drops() != 0 {
+					t.Errorf("%d plan drops, want 0 (loss-free contract)", pipe.Drops())
+				}
+				var got [4]uint64
+				for _, term := range chains {
+					c := term.counts()
+					for i := range got {
+						got[i] += c[i]
+					}
+				}
+				if got != want {
+					t.Errorf("per-port counts = %v, want %v (single-core reference)", got, want)
+				}
+			})
+		}
+	}
+}
+
+// TestLoadDeterministicStep drives a loaded pipeline with Step instead
+// of goroutines — the virtual-core mode simulations use.
+func TestLoadDeterministicStep(t *testing.T) {
+	const n = 1024
+	table := equivTable(t)
+	var chains []*equivTerminals
+	pipe, err := Load(branchyConfig, Options{
+		Cores:     2,
+		Placement: Pipelined,
+		Prebound: func(chain int) map[string]Element {
+			term := newEquivTerminals()
+			chains = append(chains, term)
+			return term.prebound(table)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packets := equivPackets(n)
+	fed := 0
+	for fed < n {
+		for c := 0; c < pipe.Chains() && fed < n; c++ {
+			if pipe.Push(c, packets[fed]) {
+				fed++
+			}
+		}
+		pipe.Step()
+	}
+	for quiet := 0; quiet < 2; {
+		if pipe.Step() == 0 && pipe.Queued() == 0 {
+			quiet++
+		} else {
+			quiet = 0
+		}
+	}
+	var total uint64
+	for _, term := range chains {
+		total += term.total()
+	}
+	if total != n {
+		t.Fatalf("delivered %d of %d", total, n)
+	}
+}
+
+// TestLoadSurface covers the inspection API: Describe, DOT, Element,
+// and option validation.
+func TestLoadSurface(t *testing.T) {
+	table := equivTable(t)
+	pipe, err := Load(branchyConfig, Options{
+		Cores:     4,
+		Placement: Pipelined,
+		Prebound: func(chain int) map[string]Element {
+			return newEquivTerminals().prebound(table)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Cores() != 4 {
+		t.Errorf("Cores = %d", pipe.Cores())
+	}
+	desc := pipe.Describe()
+	if !strings.Contains(desc, "pipelined plan") || !strings.Contains(desc, "check") {
+		t.Errorf("Describe missing placement detail:\n%s", desc)
+	}
+	dot := pipe.DOT()
+	for _, want := range []string{`"check" -> "rt" [label="[0]->[0]"]`, `"check" -> "badhdr" [label="[1]->[0]"]`} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	if pipe.Element(0, "good") == nil || pipe.Element(0, "ghost") != nil {
+		t.Error("Element lookup wrong")
+	}
+	if pipe.Router(0) == nil {
+		t.Error("Router(0) nil")
+	}
+
+	if _, err := Load("check :: CheckIPHeader", Options{}); err == nil {
+		t.Error("syntax error accepted")
+	}
+	if _, err := Load("a :: Nope; a -> a;", Options{}); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, err := Load(branchyConfig, Options{Cores: -1}); err == nil {
+		t.Error("negative cores accepted")
+	}
+}

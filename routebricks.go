@@ -7,24 +7,59 @@
 // NICs, one core per queue, one core per packet, and batched descriptor
 // processing.
 //
-// This package is the public facade over the implementation:
+// This package is the public facade over the implementation. Its
+// centerpiece is the graph-first pipeline API: write the router once,
+// in the Click configuration language, and Load derives the parallel
+// execution —
+//
+//	pipe, err := routebricks.Load(`
+//	    check :: CheckIPHeader;
+//	    rt    :: LPMLookup(fib);
+//	    ttl   :: DecIPTTL;
+//	    check[0] -> rt;     check[1] -> drops;
+//	    rt[0]    -> ttl;    rt[1]    -> drops;
+//	    ttl[0]   -> out;    ttl[1]   -> drops;
+//	`, routebricks.Options{
+//	    Cores:     4,
+//	    Placement: routebricks.Parallel, // or Pipelined
+//	    Prebound: func(chain int) map[string]routebricks.Element {
+//	        return map[string]routebricks.Element{
+//	            "fib":   elements.NewLPMLookup(table), // per-chain resources
+//	            "out":   newMySink(chain),
+//	            "drops": &elements.Discard{},
+//	        }
+//	    },
+//	})
+//	if err != nil { ... }
+//	pipe.Start()                       // one goroutine per core
+//	pipe.Push(chain, packet)           // feed the per-chain input rings
+//	fmt.Println(pipe.Describe())       // which graph segments run where
+//	pipe.Stop()
+//
+// The graph is instantiated once per chain with prebound resources
+// resolved per chain, so a Parallel placement gives every core an
+// independent copy of the whole graph ("one core per queue, one core
+// per packet", §4.2) while a Pipelined placement cuts the graph's
+// trunk across cores wherever its topology allows, joined by lock-free
+// SPSC handoff rings (internal/exec). docs/click-language.md documents
+// the accepted syntax subset; see TestLoadEquivalence for the
+// placement-independence contract.
+//
+// The rest of the facade:
 //
 //   - Cluster / RB4: the parallel router (internal/cluster), simulated on
-//     virtual time over a calibrated model of the paper's Nehalem servers.
+//     virtual time over a calibrated model of the paper's Nehalem servers;
+//     its per-node pipelines are stamped from the same click.Program
+//     mechanism Load uses.
 //   - ServerSpec and the workload model (internal/hw): the bottleneck
 //     analysis of §5, with every constant derived from the paper.
 //   - Experiments: regenerators for every table and figure (internal/
 //     experiments); see EXPERIMENTS.md for paper-vs-measured values.
-//   - The placement API (internal/click.NewPlan): §4.2's two core
-//     allocations as runnable artifacts. A Parallel plan clones a
-//     pipeline onto every core ("one core per queue, one core per
-//     packet"); a Pipelined plan cuts it into per-core stages joined by
-//     lock-free SPSC handoff rings (internal/exec). Plans run on real
-//     goroutines via click.Runner or step deterministically on virtual
-//     cores; BenchmarkPlacement and EXPERIMENTS.md track the measured
+//   - BenchmarkPlacement drives the Click-text forwarding path through
+//     Load at 1–8 cores under both placements and tracks the measured
 //     parallel-vs-pipelined crossover against the paper's Fig. 5.
 //
-// Quick start:
+// Simulation quick start:
 //
 //	c, err := routebricks.RB4()             // 4-node Direct VLB mesh
 //	if err != nil { ... }
@@ -39,8 +74,10 @@
 //	c.Drain(20 * routebricks.Millisecond)
 //	fmt.Println(c.Meter)                    // reordering statistics
 //
-// See the examples directory for runnable programs and cmd/rbbench for
-// the full evaluation harness.
+// See the examples directory for runnable programs (examples/clickfile
+// is the Load walkthrough), cmd/rbrouter for the real-UDP cluster that
+// serves -config file.click programs, and cmd/rbbench for the full
+// evaluation harness.
 package routebricks
 
 import (
