@@ -5,7 +5,7 @@ GO      ?= go
 COUNT   ?= 6
 BENCH   ?= .
 
-.PHONY: all build test vet bench bench-smoke
+.PHONY: all build test vet bench bench-smoke bench-json
 
 all: vet build test
 
@@ -30,3 +30,15 @@ BENCH_OUT ?= bench-smoke.txt
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkDispatch|BenchmarkServerModel|BenchmarkPlacement' -benchmem -benchtime 100x . > $(BENCH_OUT) 2>&1; \
 	status=$$?; cat $(BENCH_OUT); exit $$status
+
+# Machine-readable perf trajectory: the BenchmarkPlacement sweep plus
+# the Placement: Auto calibration scores, as one JSON document. CI
+# regenerates it per commit; the checked-in copy is the trajectory
+# seed.
+BENCH_JSON ?= BENCH_placement.json
+PLACEMENT_OUT ?= placement-bench.txt
+bench-json:
+	$(GO) test -run '^$$' -bench BenchmarkPlacement -benchmem -benchtime 100x . > $(PLACEMENT_OUT) 2>&1; \
+	status=$$?; cat $(PLACEMENT_OUT); [ $$status -eq 0 ] || exit $$status
+	$(GO) run ./internal/tools/benchjson -bench $(PLACEMENT_OUT) -out $(BENCH_JSON)
+	@echo wrote $(BENCH_JSON)

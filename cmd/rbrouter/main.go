@@ -22,29 +22,43 @@
 // its own queue; pipelined = the graph's trunk is cut across cores,
 // joined by SPSC handoff rings), driven on real goroutines.
 //
+// The process is live-operable while it runs: SIGHUP re-reads -config
+// and hot-swaps every node's ingress pipeline under the library's drain
+// barrier (prebound FIB/VLB resources carry over), and -stats-addr
+// serves the cluster's unified stats snapshot as JSON over HTTP.
+//
 // Usage:
 //
 //	rbrouter                      # 4-node demo, 20000 packets
 //	rbrouter -nodes 6 -packets 50000 -flowlets=false
 //	rbrouter -cores 4 -placement pipelined
+//	rbrouter -cores 4 -placement auto   # calibrate and pick the allocation
 //	rbrouter -config my.click     # custom per-node ingress program
+//	rbrouter -stats-addr 127.0.0.1:8642   # GET /stats → JSON snapshot
+//	kill -HUP <pid>               # reload -config into the running datapath
 //	rbrouter -print-graph         # dump the ingress graph as Graphviz dot and exit
 //	rbrouter -print-graph | dot -Tsvg > graph.svg
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"net/netip"
 	"os"
+	"os/signal"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"routebricks"
 	"routebricks/internal/click"
 	"routebricks/internal/elements"
+	"routebricks/internal/exec"
 	"routebricks/internal/lpm"
 	"routebricks/internal/pcap"
 	"routebricks/internal/pkt"
@@ -89,6 +103,14 @@ type node struct {
 	ingress *routebricks.Pipeline
 	transit *click.Plan
 
+	// Batch-aware UDP egress: datapath cores enqueue frames into
+	// per-destination rings; one writer goroutine per destination pays
+	// the WriteToUDP syscalls off the datapath core.
+	txq    []*txQueue // per peer (nil at self)
+	sinkq  *txQueue   // to the collector
+	txStop atomic.Bool
+	wwg    sync.WaitGroup
+
 	stop atomic.Bool
 	wg   sync.WaitGroup
 
@@ -97,6 +119,86 @@ type node struct {
 	routeMiss atomic.Uint64
 	hdrDrops  atomic.Uint64
 	rxDrops   atomic.Uint64
+	txBatches atomic.Uint64 // batches flushed by egress writers
+	txStalls  atomic.Uint64 // egress backpressure stalls (ring full, datapath waited)
+}
+
+// txQueue carries egress frames from datapath cores to one writer
+// goroutine — the batch-aware UDP egress path. exec.Ring is SPSC, but
+// several cores (every ingress chain plus transit) emit toward the same
+// peer, so pushes serialize on mu: the mutex makes "single producer"
+// true one push at a time while the writer goroutine stays the sole
+// consumer, lock-free.
+type txQueue struct {
+	mu   sync.Mutex
+	ring *exec.Ring
+	conn *net.UDPConn
+	addr *net.UDPAddr
+}
+
+func (q *txQueue) push(p *pkt.Packet) bool {
+	q.mu.Lock()
+	ok := q.ring.Push(p)
+	q.mu.Unlock()
+	return ok
+}
+
+// runWriter drains one egress queue in batches: each loop pops up to a
+// whole batch and writes it out back to back, so the syscall latency of
+// one frame overlaps the datapath producing the next instead of
+// stalling a forwarding core. Exits only after a final drain once
+// txStop is set.
+func (nd *node) runWriter(q *txQueue) {
+	defer nd.wwg.Done()
+	batch := pkt.NewBatch(64)
+	idle := 0
+	for {
+		batch.Reset()
+		n := q.ring.PopBatchInto(batch, batch.Cap())
+		if n == 0 {
+			if nd.txStop.Load() && q.ring.Len() == 0 {
+				return
+			}
+			idle++
+			if idle > 64 {
+				time.Sleep(50 * time.Microsecond)
+			} else {
+				runtime.Gosched()
+			}
+			continue
+		}
+		idle = 0
+		for _, p := range batch.Packets() {
+			if p == nil {
+				continue
+			}
+			q.conn.WriteToUDP(p.Data, q.addr)
+			pkt.DefaultPool.Put(p)
+		}
+		nd.txBatches.Add(1)
+	}
+}
+
+// enqueue hands a frame to a destination's writer. When the ring is
+// full (the writer is behind a burst) the datapath core waits for
+// space rather than writing inline — an inline write would overtake
+// same-flow frames still queued, manufacturing exactly the reordering
+// this simulator exists to measure. The stall is counted so egress
+// backpressure shows up in -stats-addr. Frames are dropped (recycled,
+// counted as a stall) only when shutdown has already stopped the
+// writers.
+func (nd *node) enqueue(q *txQueue, p *pkt.Packet) {
+	if q.push(p) {
+		return
+	}
+	nd.txStalls.Add(1)
+	for !q.push(p) {
+		if nd.txStop.Load() {
+			pkt.DefaultPool.Put(p)
+			return
+		}
+		runtime.Gosched()
+	}
 }
 
 // prebound resolves the instances a node's Click program may name, for
@@ -274,22 +376,32 @@ func (nd *node) runReader(conn *net.UDPConn, chains int, push func(chain int, p 
 	}
 }
 
-// send emits the frame to a peer node; the socket copies the bytes, so
-// the buffer recycles immediately.
+// send queues the frame for a peer node's egress writer.
 func (nd *node) send(to int, p *pkt.Packet) {
 	nd.forwarded.Add(1)
-	nd.int_.WriteToUDP(p.Data, nd.peers[to])
-	pkt.DefaultPool.Put(p)
+	nd.enqueue(nd.txq[to], p)
 }
 
-// egress emits the frame on the external wire (to the collector).
+// egress queues the frame for the external wire (to the collector).
 func (nd *node) egress(p *pkt.Packet) {
 	nd.egressed.Add(1)
-	nd.ext.WriteToUDP(p.Data, nd.sink)
-	pkt.DefaultPool.Put(p)
+	nd.enqueue(nd.sinkq, p)
 }
 
 func (nd *node) start() error {
+	// Egress writers first, so the datapath never hits a cold queue.
+	nd.sinkq = &txQueue{ring: exec.NewRing(4096), conn: nd.ext, addr: nd.sink}
+	nd.wwg.Add(1)
+	go nd.runWriter(nd.sinkq)
+	nd.txq = make([]*txQueue, nd.n)
+	for j := range nd.txq {
+		if j == nd.id {
+			continue
+		}
+		nd.txq[j] = &txQueue{ring: exec.NewRing(4096), conn: nd.int_, addr: nd.peers[j]}
+		nd.wwg.Add(1)
+		go nd.runWriter(nd.txq[j])
+	}
 	if err := nd.ingress.Start(); err != nil {
 		return err
 	}
@@ -306,11 +418,21 @@ func (nd *node) start() error {
 
 func (nd *node) shutdown() {
 	nd.stop.Store(true)
-	nd.wg.Wait()
+	nd.wg.Wait() // readers gone: nothing feeds the datapath
 	nd.ingress.Stop()
-	nd.transit.Stop()
+	nd.transit.Stop() // cores halted: nothing feeds the egress queues
+	nd.txStop.Store(true)
+	nd.wwg.Wait() // writers flush what was queued, then exit
 	nd.ext.Close()
 	nd.int_.Close()
+}
+
+// reload hot-swaps the node's ingress program. Options inherit from the
+// running pipeline (merge semantics), so the prebound FIB, VLB
+// balancers, and drop counters rebind to the new graph's chains through
+// the same closure — only Placement must be restated.
+func (nd *node) reload(cfgText string, kind click.PlanKind) error {
+	return nd.ingress.Reload(cfgText, routebricks.Options{Placement: kind})
 }
 
 func run() error {
@@ -320,10 +442,11 @@ func run() error {
 		rate       = flag.Int("rate", 40000, "injection rate (packets/sec)")
 		flowlets   = flag.Bool("flowlets", true, "enable flowlet reordering avoidance")
 		cores      = flag.Int("cores", 1, "datapath cores per node")
-		placement  = flag.String("placement", "parallel", "core allocation: parallel or pipelined")
+		placement  = flag.String("placement", "parallel", "core allocation: parallel, pipelined, or auto (calibrate and pick)")
 		configPath = flag.String("config", "", "Click-language ingress program (default: embedded IP router config)")
 		printGraph = flag.Bool("print-graph", false, "print the ingress element graph as Graphviz dot and exit")
 		pcapPath   = flag.String("pcap", "", "capture egress traffic to this pcap file")
+		statsAddr  = flag.String("stats-addr", "", "serve the cluster stats snapshot as JSON on this HTTP address (GET /stats)")
 	)
 	flag.Parse()
 	cfgText := defaultConfig
@@ -349,13 +472,16 @@ func run() error {
 		return fmt.Errorf("cores must be in [1,64]")
 	}
 	var kind click.PlanKind
+	autoPlace := false
 	switch *placement {
 	case "parallel":
 		kind = click.Parallel
 	case "pipelined":
 		kind = click.Pipelined
+	case "auto":
+		autoPlace = true // resolved below, once the FIB exists
 	default:
-		return fmt.Errorf("placement must be parallel or pipelined, got %q", *placement)
+		return fmt.Errorf("placement must be parallel, pipelined, or auto, got %q", *placement)
 	}
 	var capture *pcap.Writer
 	if *pcapPath != "" {
@@ -378,6 +504,32 @@ func run() error {
 		}
 	}
 	table.Freeze()
+
+	// Resolve -placement auto once, against hermetic stand-in terminals
+	// (calibration drives synthetic traffic through the graph, so the
+	// probe must not touch sockets or pollute node counters); every node
+	// then gets the measured decision.
+	if autoPlace {
+		probe, err := routebricks.Load(cfgText, routebricks.Options{
+			Cores:     *cores,
+			Placement: routebricks.Auto,
+			Prebound: func(int) map[string]routebricks.Element {
+				sink := func() routebricks.Element { return &elements.Sink{Recycle: pkt.DefaultPool} }
+				return map[string]routebricks.Element{
+					"fib":       elements.NewLPMLookup(table),
+					"vlb":       sink(),
+					"badhdr":    sink(),
+					"badttl":    sink(),
+					"missroute": sink(),
+				}
+			},
+		})
+		if err != nil {
+			return fmt.Errorf("auto placement calibration: %w", err)
+		}
+		kind = probe.Placement()
+		fmt.Printf("placement %s\n", describeDecision(probe))
+	}
 
 	collector, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
@@ -406,6 +558,61 @@ func run() error {
 	fmt.Printf("rbrouter: %d nodes meshed over UDP, injecting %d packets at %d pps (flowlets=%v)\n",
 		*nNodes, *packets, *rate, *flowlets)
 	fmt.Printf("per-node ingress placement: %s", nodes[0].ingress.Describe())
+
+	// SIGHUP → hot-reload: re-read -config and swap every node's ingress
+	// pipeline under the library's drain barrier. Prebound resources
+	// (FIB, VLB balancers, drop counters) carry over via option
+	// inheritance; a bad config is reported and the old datapath keeps
+	// forwarding.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
+	go func() {
+		for range hup {
+			text := defaultConfig
+			src := "embedded config"
+			if *configPath != "" {
+				raw, err := os.ReadFile(*configPath)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "rbrouter: reload:", err)
+					continue
+				}
+				text, src = string(raw), *configPath
+			}
+			ok := true
+			for _, nd := range nodes {
+				if err := nd.reload(text, kind); err != nil {
+					fmt.Fprintf(os.Stderr, "rbrouter: reload node %d: %v\n", nd.id, err)
+					ok = false
+					break
+				}
+			}
+			if ok {
+				fmt.Printf("rbrouter: reloaded %s (generation %d)\n", src, nodes[0].ingress.Generation())
+			}
+		}
+	}()
+
+	// -stats-addr: the cluster's unified observability surface — every
+	// node's typed ingress Snapshot plus its socket-level counters, as
+	// JSON.
+	if *statsAddr != "" {
+		ln, err := net.Listen("tcp", *statsAddr)
+		if err != nil {
+			return fmt.Errorf("stats-addr: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(clusterSnapshot(nodes))
+		})
+		srv := &http.Server{Handler: mux}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Printf("stats: http://%s/stats\n", ln.Addr())
+	}
 
 	// Collector: count deliveries and measure reordering.
 	meter := stats.NewReorderMeter()
@@ -490,6 +697,57 @@ func run() error {
 		return fmt.Errorf("lost more than 5%% of packets")
 	}
 	return nil
+}
+
+// nodeSnapshot is one node's slice of the -stats-addr JSON document:
+// the library's unified ingress Snapshot plus the node's socket-level
+// counters (which live outside the pipeline).
+type nodeSnapshot struct {
+	ID             int                  `json:"id"`
+	Ingress        routebricks.Snapshot `json:"ingress"`
+	TransitQueued  int                  `json:"transit_queued"`
+	TransitPackets uint64               `json:"transit_packets"`
+	Forwarded      uint64               `json:"forwarded"`
+	Egressed       uint64               `json:"egressed"`
+	RouteMisses    uint64               `json:"route_misses"`
+	HeaderDrops    uint64               `json:"header_drops"`
+	RxDrops        uint64               `json:"rx_drops"`
+	TxBatches      uint64               `json:"tx_batches"`
+	TxStalls       uint64               `json:"tx_stalls"`
+}
+
+func clusterSnapshot(nodes []*node) []nodeSnapshot {
+	out := make([]nodeSnapshot, len(nodes))
+	for i, nd := range nodes {
+		var transitPkts uint64
+		for _, s := range nd.transit.Stats() {
+			transitPkts += s.Packets()
+		}
+		out[i] = nodeSnapshot{
+			ID:             nd.id,
+			Ingress:        nd.ingress.Snapshot(),
+			TransitQueued:  nd.transit.Queued(),
+			TransitPackets: transitPkts,
+			Forwarded:      nd.forwarded.Load(),
+			Egressed:       nd.egressed.Load(),
+			RouteMisses:    nd.routeMiss.Load(),
+			HeaderDrops:    nd.hdrDrops.Load(),
+			RxDrops:        nd.rxDrops.Load(),
+			TxBatches:      nd.txBatches.Load(),
+			TxStalls:       nd.txStalls.Load(),
+		}
+	}
+	return out
+}
+
+// describeDecision renders an auto-placement probe's outcome for the
+// startup banner.
+func describeDecision(p *routebricks.Pipeline) string {
+	s := fmt.Sprintf("auto → %s", p.Placement())
+	for _, c := range p.Calibration() {
+		s += fmt.Sprintf("  [%s score %.0f, %d handoff pkts]", c.Plan, c.Score, c.HandoffPackets)
+	}
+	return s
 }
 
 func main() {

@@ -1,10 +1,12 @@
 // clickfile: the programmability claim, demonstrated end to end. The
 // IP-router datapath is declared in the Click configuration language
 // (§1: the router "is fully programmable using the familiar Click/Linux
-// environment") and handed to routebricks.Load, which parses it against
-// the standard element registry, stamps one independent copy of the
-// graph per core, and runs it as a multi-core Parallel placement — the
-// route table passed in as a per-chain prebound instance.
+// environment") and handed to routebricks.Load — with Placement: Auto,
+// so the §4.2 core allocation is picked by measured calibration rather
+// than a flag. The route table is passed in as a per-chain prebound
+// instance. After the run, the example exercises the rest of the live
+// control plane: the unified Snapshot (with Delta rates) and a
+// zero-downtime Reload of the same program.
 //
 //	go run ./examples/clickfile
 package main
@@ -51,30 +53,33 @@ func main() {
 	table.Freeze()
 
 	const cores = 2
-	pipe, err := routebricks.Load(config, routebricks.Options{
-		Cores: cores,
+	opts := routebricks.Options{
+		Cores:     cores,
+		Placement: routebricks.Auto, // calibrate both §4.2 allocations, pick the winner
 		Prebound: func(chain int) map[string]routebricks.Element {
 			return map[string]routebricks.Element{
 				"fib":  elements.NewLPMLookup(table),
 				"sink": &elements.Discard{},
 			}
 		},
-	})
+	}
+	pipe, err := routebricks.Load(config, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("parsed graph:")
 	fmt.Print(pipe.Router(0).Graph())
-	fmt.Printf("\nplacement:\n%s\n", pipe.Describe())
+	fmt.Printf("\nplacement (decided by calibration):\n%s\n", pipe.Describe())
 
 	if err := pipe.Start(); err != nil {
 		log.Fatal(err)
 	}
 	src := trafficgen.New(trafficgen.Config{Seed: 1, Sizes: trafficgen.Fixed(64), RandomDst: true})
 	const n = 100000
+	before := pipe.Snapshot()
 	for i := 0; i < n; i++ {
 		p := src.Next()
-		for !pipe.Push(i%cores, p) {
+		for !pipe.Push(i%pipe.Chains(), p) {
 			runtime.Gosched()
 		}
 	}
@@ -96,9 +101,24 @@ func main() {
 		}
 		runtime.Gosched()
 	}
-	pipe.Stop()
-
 	routed, drained := total()
+
+	// One typed snapshot carries everything the run produced; Delta
+	// against the pre-run snapshot isolates this run's counters.
+	delta := pipe.Snapshot().Delta(before)
 	fmt.Printf("\nrouted %d of %d packets through the loaded pipeline on %d cores (sinks drained %d)\n",
 		routed, n, cores, drained)
+	fmt.Printf("snapshot: plan=%s gen=%d packets=%d queued=%d drops=%d\n",
+		delta.Plan, delta.Generation, delta.TotalPackets(), delta.Queued, delta.Drops)
+
+	// Hot-swap the same program while the cores run: the drain barrier
+	// empties the rings, the new plan installs, and the generation
+	// counter records the swap. Prebound resources carry over.
+	if err := pipe.Reload(config, opts); err != nil {
+		log.Fatal(err)
+	}
+	after := pipe.Snapshot()
+	fmt.Printf("reloaded live: gen=%d plan=%s packets=%d (fresh counters)\n",
+		after.Generation, after.Plan, after.TotalPackets())
+	pipe.Stop()
 }

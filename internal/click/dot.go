@@ -10,9 +10,17 @@ import (
 // labeled "[fromPort]->[toPort]". Pipe it through `dot -Tsvg` to see the
 // graph a configuration actually built — the companion to Graph()'s
 // plain-text listing, and what `rbrouter -print-graph` emits.
-func (r *Router) DOT() string {
+func (r *Router) DOT() string { return r.DOTTitled("") }
+
+// DOTTitled renders like DOT with a graph label. The Pipeline uses it
+// to stamp plan kind, generation, and chain onto exported graphs so
+// hot-reloaded revisions are distinguishable side by side.
+func (r *Router) DOTTitled(title string) string {
 	var b strings.Builder
 	b.WriteString("digraph router {\n")
+	if title != "" {
+		fmt.Fprintf(&b, "  label=%q;\n  labelloc=t;\n", title)
+	}
 	b.WriteString("  rankdir=LR;\n")
 	b.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
 	b.WriteString("  edge [fontname=\"Helvetica\", fontsize=10];\n")

@@ -39,6 +39,10 @@ const (
 	// Pipelined cuts the pipeline into per-core stages joined by SPSC
 	// handoff rings.
 	Pipelined
+	// Auto is not a materializable allocation: it asks the caller to
+	// measure both and pick. routebricks.Load resolves it by calibration
+	// before building a plan; NewPlan rejects it.
+	Auto PlanKind = -1
 )
 
 // String names the allocation as the paper does.
@@ -48,6 +52,8 @@ func (k PlanKind) String() string {
 		return "parallel"
 	case Pipelined:
 		return "pipelined"
+	case Auto:
+		return "auto"
 	}
 	return fmt.Sprintf("PlanKind(%d)", int(k))
 }
@@ -149,10 +155,11 @@ type Plan struct {
 	sched  *Schedule
 	runner *Runner
 
-	inputs    []*exec.Ring // one per chain; callers feed these
-	handoffs  []*exec.Ring // pipelined only: all inter-stage rings
-	stats     []*CoreStat
-	instances []*Instance // one per chain, in chain order
+	inputs       []*exec.Ring // one per chain; callers feed these
+	handoffs     []*exec.Ring // pipelined only: all inter-stage rings
+	handoffChain []int        // chain owning each handoff ring
+	stats        []*CoreStat
+	instances    []*Instance // one per chain, in chain order
 	// lost counts packets the plan itself recycled because a handoff
 	// ring rejected them — possible only when a stage emits more packets
 	// than it polled, since polling is capped by downstream free space.
@@ -178,6 +185,9 @@ func NewPlan(cfg PlanConfig) (*Plan, error) {
 		prog = ProgramFromStages(cfg.Stages)
 	} else if len(cfg.Stages) > 0 {
 		return nil, fmt.Errorf("click: plan takes a Program or Stages, not both")
+	}
+	if cfg.Kind == Auto {
+		return nil, fmt.Errorf("click: Auto placement must be resolved before planning (routebricks.Load calibrates and picks Parallel or Pipelined)")
 	}
 	if cfg.Kind != Parallel && cfg.Kind != Pipelined {
 		return nil, fmt.Errorf("click: unknown plan kind %d", int(cfg.Kind))
@@ -279,6 +289,7 @@ func (p *Plan) buildChain(cfg PlanConfig, chain int, cores []int, in *Instance) 
 			// handoff ring polled by the next core.
 			downstream = exec.NewRing(cfg.HandoffCap)
 			p.handoffs = append(p.handoffs, downstream)
+			p.handoffChain = append(p.handoffChain, chain)
 			if err := p.wireRing(last, downstream); err != nil {
 				return fmt.Errorf("click: segment %q: %w", in.names[hi-1], err)
 			}
@@ -395,6 +406,28 @@ func (p *Plan) Input(i int) *exec.Ring { return p.inputs[i] }
 
 // Inputs returns all input rings, one per chain.
 func (p *Plan) Inputs() []*exec.Ring { return p.inputs }
+
+// PlanRing describes one of a plan's rings for observability and
+// teardown: Role is "input" (caller-fed, one per chain) or "handoff"
+// (inter-stage, pipelined only); Chain is the replica it belongs to.
+type PlanRing struct {
+	Role  string
+	Chain int
+	Ring  *exec.Ring
+}
+
+// Rings lists every ring the plan owns, inputs first, in chain order —
+// the walk a stats snapshot or a drain barrier makes.
+func (p *Plan) Rings() []PlanRing {
+	out := make([]PlanRing, 0, len(p.inputs)+len(p.handoffs))
+	for i, r := range p.inputs {
+		out = append(out, PlanRing{Role: "input", Chain: i, Ring: r})
+	}
+	for i, r := range p.handoffs {
+		out = append(out, PlanRing{Role: "handoff", Chain: p.handoffChain[i], Ring: r})
+	}
+	return out
+}
 
 // Instance returns chain i's materialized graph copy.
 func (p *Plan) Instance(i int) *Instance { return p.instances[i] }

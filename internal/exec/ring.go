@@ -174,6 +174,25 @@ func (r *Ring) PopBatchInto(b *pkt.Batch, max int) int {
 	return int(n)
 }
 
+// Drain pops every packet currently in the ring into fn and reports how
+// many it moved. It is the teardown half of a reload barrier: once the
+// producer and consumer cores have been stopped (or were never
+// started), the reloading goroutine calls Drain to take ownership of
+// whatever is still queued — account it, recycle it — before the ring
+// is discarded. Call only from the consumer goroutine, or after the
+// consumer has provably exited.
+func (r *Ring) Drain(fn func(*pkt.Packet)) int {
+	n := 0
+	for {
+		p := r.Pop()
+		if p == nil {
+			return n
+		}
+		fn(p)
+		n++
+	}
+}
+
 // String summarizes occupancy for debugging.
 func (r *Ring) String() string {
 	return fmt.Sprintf("exec.Ring{%d/%d, rejected=%d}", r.Len(), r.Cap(), r.Rejected())

@@ -264,3 +264,30 @@ func BenchmarkRingHandoff(b *testing.B) {
 	close(stop)
 	<-done
 }
+
+func TestRingDrain(t *testing.T) {
+	r := NewRing(8)
+	for i := 0; i < 5; i++ {
+		r.Push(mark(uint64(i)))
+	}
+	var got []uint64
+	n := r.Drain(func(p *pkt.Packet) { got = append(got, p.SeqNo) })
+	if n != 5 || len(got) != 5 {
+		t.Fatalf("Drain moved %d packets, want 5", n)
+	}
+	for i, seq := range got {
+		if seq != uint64(i) {
+			t.Fatalf("Drain out of order: got %v", got)
+		}
+	}
+	if r.Len() != 0 {
+		t.Fatalf("ring not empty after Drain: %d", r.Len())
+	}
+	if r.Drain(func(*pkt.Packet) { t.Fatal("callback on empty ring") }) != 0 {
+		t.Fatal("Drain on empty ring reported packets")
+	}
+	// The ring stays usable afterwards.
+	if !r.Push(mark(42)) || r.Pop().SeqNo != 42 {
+		t.Fatal("ring unusable after Drain")
+	}
+}

@@ -1,0 +1,153 @@
+package stats
+
+// This file defines the unified observability schema of a loaded
+// pipeline: one typed Snapshot carrying everything the scattered
+// Stats()/Drops()/Queued() accessors used to expose piecemeal, shaped
+// for JSON export (cmd/rbrouter serves it on -stats-addr) and for rate
+// computation via Delta. The types are pure data — the routebricks
+// facade fills them from a live plan; nothing here touches the
+// datapath.
+
+// CoreSnapshot is one core's counter block at snapshot time.
+type CoreSnapshot struct {
+	Core     int    `json:"core"`
+	Chain    int    `json:"chain"`
+	Stages   string `json:"stages"`
+	Packets  uint64 `json:"packets"`
+	Polls    uint64 `json:"polls"`
+	Empty    uint64 `json:"empty"`
+	Handoffs uint64 `json:"handoffs"`
+}
+
+// RingSnapshot is one ring's state: Role is "input" (caller-fed) or
+// "handoff" (inter-stage); Len/Cap are occupancy gauges, Rejected the
+// monotonic backpressure counter.
+type RingSnapshot struct {
+	Role     string `json:"role"`
+	Chain    int    `json:"chain"`
+	Len      int    `json:"len"`
+	Cap      int    `json:"cap"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// ElementSnapshot carries one graph element's exported counters
+// (harvested from the atomic Count/Packets/Bytes accessors elements
+// expose).
+type ElementSnapshot struct {
+	Chain    int               `json:"chain"`
+	Name     string            `json:"name"`
+	Class    string            `json:"class"`
+	Counters map[string]uint64 `json:"counters"`
+}
+
+// Snapshot is a consistent-enough point-in-time view of a running
+// pipeline: plan identity (kind + generation, so observers can tell a
+// reload happened), per-core counters, per-ring depth/capacity/
+// backpressure, and per-element counters. Counters are monotonic within
+// one generation; a Reload or Replan installs a fresh plan and resets
+// them.
+type Snapshot struct {
+	Plan       string `json:"plan"`
+	Generation uint64 `json:"generation"`
+	Decision   string `json:"decision,omitempty"`
+	Cores      int    `json:"cores"`
+	Chains     int    `json:"chains"`
+
+	Queued   int    `json:"queued"`
+	Drops    uint64 `json:"drops"`
+	Rejected uint64 `json:"rejected"`
+
+	CoreStats []CoreSnapshot    `json:"core_stats"`
+	Rings     []RingSnapshot    `json:"rings"`
+	Elements  []ElementSnapshot `json:"elements,omitempty"`
+}
+
+// TotalPackets sums packets pulled across all cores — each packet
+// counts once per core that handled it, so a pipelined plan reports
+// roughly stages× the injected count.
+func (s Snapshot) TotalPackets() uint64 {
+	var n uint64
+	for _, c := range s.CoreStats {
+		n += c.Packets
+	}
+	return n
+}
+
+// Delta returns s with every monotonic counter replaced by its increase
+// since prev — the rate view: divide by the wall-clock interval between
+// the two snapshots for per-second rates. Gauges (Queued, ring Len/Cap)
+// keep their current values. When prev belongs to a different plan or
+// generation the counters restarted from zero mid-interval, so s is
+// returned unchanged — callers detect the discontinuity by comparing
+// Generation themselves.
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	if s.Plan != prev.Plan || s.Generation != prev.Generation {
+		return s
+	}
+	out := s
+	out.Drops = sub(s.Drops, prev.Drops)
+	out.Rejected = sub(s.Rejected, prev.Rejected)
+
+	out.CoreStats = make([]CoreSnapshot, len(s.CoreStats))
+	copy(out.CoreStats, s.CoreStats)
+	if len(prev.CoreStats) == len(s.CoreStats) {
+		for i := range out.CoreStats {
+			p := prev.CoreStats[i]
+			if p.Core != out.CoreStats[i].Core || p.Chain != out.CoreStats[i].Chain {
+				continue
+			}
+			out.CoreStats[i].Packets = sub(out.CoreStats[i].Packets, p.Packets)
+			out.CoreStats[i].Polls = sub(out.CoreStats[i].Polls, p.Polls)
+			out.CoreStats[i].Empty = sub(out.CoreStats[i].Empty, p.Empty)
+			out.CoreStats[i].Handoffs = sub(out.CoreStats[i].Handoffs, p.Handoffs)
+		}
+	}
+
+	out.Rings = make([]RingSnapshot, len(s.Rings))
+	copy(out.Rings, s.Rings)
+	if len(prev.Rings) == len(s.Rings) {
+		for i := range out.Rings {
+			p := prev.Rings[i]
+			if p.Role != out.Rings[i].Role || p.Chain != out.Rings[i].Chain {
+				continue
+			}
+			out.Rings[i].Rejected = sub(out.Rings[i].Rejected, p.Rejected)
+		}
+	}
+
+	prevEl := make(map[elKey]ElementSnapshot, len(prev.Elements))
+	for _, e := range prev.Elements {
+		prevEl[e.key()] = e
+	}
+	out.Elements = make([]ElementSnapshot, len(s.Elements))
+	for i, e := range s.Elements {
+		counters := make(map[string]uint64, len(e.Counters))
+		p, ok := prevEl[e.key()]
+		for k, v := range e.Counters {
+			if ok {
+				v = sub(v, p.Counters[k])
+			}
+			counters[k] = v
+		}
+		e.Counters = counters
+		out.Elements[i] = e
+	}
+	return out
+}
+
+// elKey identifies an element across snapshots of one generation.
+type elKey struct {
+	chain int
+	name  string
+}
+
+func (e ElementSnapshot) key() elKey { return elKey{e.Chain, e.Name} }
+
+// sub is saturating subtraction: a counter that appears to run backward
+// (it cannot within one generation) clamps to 0 instead of wrapping.
+func sub(a, b uint64) uint64 {
+	if b > a {
+		return 0
+	}
+	return a - b
+}

@@ -1,0 +1,77 @@
+package stats
+
+import "testing"
+
+func sampleSnapshot(gen uint64, pkts, rej uint64) Snapshot {
+	return Snapshot{
+		Plan:       "pipelined",
+		Generation: gen,
+		Cores:      2,
+		Chains:     1,
+		Queued:     3,
+		Drops:      pkts / 100,
+		Rejected:   rej,
+		CoreStats: []CoreSnapshot{
+			{Core: 0, Chain: 0, Stages: "check+rt", Packets: pkts, Polls: pkts + 5, Empty: 5, Handoffs: pkts / 32},
+			{Core: 1, Chain: 0, Stages: "ttl", Packets: pkts, Polls: pkts + 9, Empty: 9},
+		},
+		Rings: []RingSnapshot{
+			{Role: "input", Chain: 0, Len: 2, Cap: 4096, Rejected: rej},
+			{Role: "handoff", Chain: 0, Len: 1, Cap: 1024, Rejected: 0},
+		},
+		Elements: []ElementSnapshot{
+			{Chain: 0, Name: "good", Class: "Counter", Counters: map[string]uint64{"packets": pkts, "bytes": pkts * 64}},
+		},
+	}
+}
+
+func TestSnapshotDelta(t *testing.T) {
+	prev := sampleSnapshot(4, 1000, 10)
+	cur := sampleSnapshot(4, 1600, 25)
+	d := cur.Delta(prev)
+
+	if d.Queued != cur.Queued {
+		t.Errorf("Queued is a gauge, got %d", d.Queued)
+	}
+	if d.Rejected != 15 {
+		t.Errorf("Rejected delta = %d, want 15", d.Rejected)
+	}
+	if d.CoreStats[0].Packets != 600 || d.CoreStats[1].Packets != 600 {
+		t.Errorf("core packet deltas wrong: %+v", d.CoreStats)
+	}
+	if d.CoreStats[0].Handoffs != 1600/32-1000/32 {
+		t.Errorf("handoff delta = %d", d.CoreStats[0].Handoffs)
+	}
+	if d.Rings[0].Rejected != 15 || d.Rings[0].Len != 2 || d.Rings[0].Cap != 4096 {
+		t.Errorf("ring delta wrong: %+v", d.Rings[0])
+	}
+	if d.Elements[0].Counters["packets"] != 600 || d.Elements[0].Counters["bytes"] != 600*64 {
+		t.Errorf("element counter delta wrong: %v", d.Elements[0].Counters)
+	}
+	if d.TotalPackets() != 1200 {
+		t.Errorf("TotalPackets = %d, want 1200", d.TotalPackets())
+	}
+
+	// The inputs are untouched.
+	if cur.Elements[0].Counters["packets"] != 1600 || prev.Elements[0].Counters["packets"] != 1000 {
+		t.Error("Delta mutated its inputs")
+	}
+}
+
+func TestSnapshotDeltaGenerationBoundary(t *testing.T) {
+	prev := sampleSnapshot(4, 1000, 10)
+	cur := sampleSnapshot(5, 200, 2) // counters restarted after a reload
+	d := cur.Delta(prev)
+	if d.CoreStats[0].Packets != 200 || d.Rejected != 2 {
+		t.Errorf("Delta across generations must return the new snapshot unchanged: %+v", d)
+	}
+}
+
+func TestSnapshotDeltaSaturates(t *testing.T) {
+	prev := sampleSnapshot(4, 1000, 10)
+	cur := sampleSnapshot(4, 500, 3) // impossible within a generation; clamp
+	d := cur.Delta(prev)
+	if d.CoreStats[0].Packets != 0 || d.Rejected != 0 {
+		t.Errorf("backward counters must clamp to 0: %+v", d)
+	}
+}

@@ -1,0 +1,168 @@
+// Command benchjson turns `go test -bench` output into JSON and
+// appends the Placement: Auto calibration the library would run on the
+// same workload, so `make bench-json` leaves one machine-readable
+// BENCH_placement.json trajectory point per commit: the measured
+// parallel-vs-pipelined Mpps sweep next to the calibration scores that
+// drive the Auto decision.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkPlacement -benchmem . > out.txt
+//	go run ./internal/tools/benchjson -bench out.txt -out BENCH_placement.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"strconv"
+	"strings"
+
+	"routebricks"
+	"routebricks/internal/elements"
+	"routebricks/internal/lpm"
+	"routebricks/internal/pkt"
+)
+
+// benchResult is one parsed `Benchmark...` output line.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int                `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// calResult is one Placement: Auto run at a given core count.
+type calResult struct {
+	Cores      int                             `json:"cores"`
+	Picked     string                          `json:"picked"`
+	Decision   string                          `json:"decision"`
+	Candidates []routebricks.CalibrationResult `json:"candidates"`
+}
+
+type output struct {
+	Benchmarks  []benchResult `json:"benchmarks"`
+	Calibration []calResult   `json:"calibration"`
+}
+
+// parseBench extracts Benchmark lines: name, iteration count, then
+// value/unit pairs (ns/op, MB/s, custom metrics like Mpps, B/op,
+// allocs/op).
+func parseBench(path string) ([]benchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []benchResult
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		r := benchResult{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			r.Metrics[fields[i+1]] = v
+		}
+		out = append(out, r)
+	}
+	return out, sc.Err()
+}
+
+// placementConfig mirrors the BenchmarkPlacement workload (the
+// standard IP forwarding trunk with per-cause side branches) so the
+// calibration scores in the JSON describe the same graph the Mpps
+// sweep measured.
+const placementConfig = `
+	check :: CheckIPHeader;
+	rt    :: LPMLookup(fib);
+	ttl   :: DecIPTTL;
+	check[0] -> rt;
+	check[1] -> badhdr;
+	rt[0]    -> ttl;
+	rt[1]    -> badroute;
+	ttl[1]   -> badttl;
+`
+
+// calibrate runs Placement: Auto over the benchmark workload at the
+// given core count and reports the decision and candidate scores.
+func calibrate(cores int) (calResult, error) {
+	table := lpm.NewDir248()
+	if err := table.Insert(netip.MustParsePrefix("10.0.0.0/16"), 1); err != nil {
+		return calResult{}, err
+	}
+	table.Freeze()
+	sink := func() routebricks.Element { return &elements.Sink{Recycle: pkt.DefaultPool} }
+	pipe, err := routebricks.Load(placementConfig, routebricks.Options{
+		Cores:     cores,
+		Placement: routebricks.Auto,
+		Prebound: func(int) map[string]routebricks.Element {
+			return map[string]routebricks.Element{
+				"fib":      elements.NewLPMLookup(table),
+				"badhdr":   sink(),
+				"badroute": sink(),
+				"badttl":   sink(),
+			}
+		},
+		Sink: func(int) routebricks.Element { return sink() },
+	})
+	if err != nil {
+		return calResult{}, err
+	}
+	decision := ""
+	if s := pipe.Snapshot(); s.Decision != "" {
+		decision = s.Decision
+	}
+	return calResult{
+		Cores:      cores,
+		Picked:     pipe.Placement().String(),
+		Decision:   decision,
+		Candidates: pipe.Calibration(),
+	}, nil
+}
+
+func run() error {
+	benchPath := flag.String("bench", "", "go test -bench output to parse")
+	outPath := flag.String("out", "BENCH_placement.json", "JSON file to write")
+	flag.Parse()
+
+	var doc output
+	if *benchPath != "" {
+		b, err := parseBench(*benchPath)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", *benchPath, err)
+		}
+		doc.Benchmarks = b
+	}
+	for _, cores := range []int{1, 2, 4, 8} {
+		c, err := calibrate(cores)
+		if err != nil {
+			return fmt.Errorf("calibrate %d cores: %w", cores, err)
+		}
+		doc.Calibration = append(doc.Calibration, c)
+	}
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	return os.WriteFile(*outPath, raw, 0o644)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -2,11 +2,14 @@ package routebricks
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"routebricks/internal/click"
 	"routebricks/internal/elements"
 	"routebricks/internal/exec"
 	"routebricks/internal/pkt"
+	"routebricks/internal/stats"
 )
 
 // This file is the graph-first public surface: Load takes a router
@@ -14,6 +17,11 @@ import (
 // multi-core placement plan — the paper's programmability claim ("fully
 // programmable using the familiar Click/Linux environment", §1) joined
 // to its parallelism claim (§4.2's core allocations) behind one call.
+// The returned Pipeline is a live control plane, not a build-once
+// artifact: the placement can be chosen by measurement (Placement:
+// Auto), re-decided at runtime (Replan), the whole program swapped
+// without restart (Reload), and everything observed through one typed
+// Snapshot (see control.go and snapshot.go).
 
 // Element is a Click packet-processing module (see internal/click).
 type Element = click.Element
@@ -37,7 +45,11 @@ type CoreStat = click.CoreStat
 // PlanKind selects the §4.2 core allocation for a loaded pipeline.
 type PlanKind = click.PlanKind
 
-// The two §4.2 core allocations.
+// Snapshot is the unified observability view of a Pipeline — see
+// Pipeline.Snapshot.
+type Snapshot = stats.Snapshot
+
+// The §4.2 core allocations, plus the measured mode.
 const (
 	// Parallel clones the whole graph onto every core ("one core per
 	// queue, one core per packet") — the paper's winning allocation.
@@ -45,18 +57,33 @@ const (
 	// Pipelined cuts the graph's trunk into per-core stages joined by
 	// SPSC handoff rings.
 	Pipelined = click.Pipelined
+	// Auto picks between Parallel and Pipelined by running a short
+	// deterministic calibration against both candidate plans at Load
+	// (and Replan) time; the decision is recorded in Describe() and the
+	// Snapshot.
+	Auto = click.Auto
 )
 
-// Options parameterizes Load.
+// Options parameterizes Load (and Reload/Replan, which apply the same
+// validation and defaults). Numeric fields left 0 take the documented
+// default at Load and inherit the pipeline's current value at
+// Reload/Replan; negative values are rejected up front with a
+// descriptive error rather than silently rounded downstream.
 type Options struct {
 	// Cores is the number of datapath cores (default 1).
 	Cores int
-	// Placement picks the core allocation (default Parallel).
+	// Placement picks the core allocation (default Parallel). Auto
+	// measures both candidates and picks; note that Auto briefly drives
+	// synthetic calibration traffic through candidate plans, so Prebound
+	// and Sink are invoked for candidate chains too and prebound
+	// terminals see (and may count) calibration packets.
 	Placement PlanKind
 	// KP is the poll batch size (default 32, the paper's tuned kp).
 	KP int
 	// InputCap sizes each chain's input ring (default 4096);
-	// HandoffCap each inter-stage handoff ring (default 1024).
+	// HandoffCap each inter-stage handoff ring (default 1024). Ring
+	// capacities round UP to the next power of two (exec.NewRing), so
+	// e.g. InputCap: 3000 yields 4096-slot rings.
 	InputCap   int
 	HandoffCap int
 	// Registry resolves element classes in the Click text (default
@@ -66,7 +93,10 @@ type Options struct {
 	// name from the Click text — route tables bound to FIBs, device
 	// rings, VLB balancers. It is called once per chain so per-core
 	// resources come out independent by construction; instances that
-	// are shared across chains must be safe for concurrent use.
+	// are shared across chains must be safe for concurrent use. Reload
+	// and Replan call it again for the new plan's chains, which is how
+	// prebound resources persist across a swap: the same closure hands
+	// the same shared instances to the replacement graph.
 	Prebound func(chain int) map[string]Element
 	// Entry names the graph's entry element when auto-detection (the
 	// unique element with no incoming connections) is ambiguous.
@@ -76,10 +106,111 @@ type Options struct {
 	Sink func(chain int) Element
 }
 
-// Pipeline is a loaded, placed, runnable Click program.
+// validate rejects malformed options with a descriptive error instead
+// of letting zero-value defaulting round them away inside exec.NewRing.
+func (o Options) validate() error {
+	if o.Cores < 0 {
+		return fmt.Errorf("routebricks: Cores must be non-negative (0 means the default 1), got %d", o.Cores)
+	}
+	if o.KP < 0 {
+		return fmt.Errorf("routebricks: KP must be non-negative (0 means the default 32), got %d", o.KP)
+	}
+	if o.InputCap < 0 {
+		return fmt.Errorf("routebricks: InputCap must be non-negative (0 means the default 4096; values round up to a power of two), got %d", o.InputCap)
+	}
+	if o.HandoffCap < 0 {
+		return fmt.Errorf("routebricks: HandoffCap must be non-negative (0 means the default 1024; values round up to a power of two), got %d", o.HandoffCap)
+	}
+	if o.Placement != Parallel && o.Placement != Pipelined && o.Placement != Auto {
+		return fmt.Errorf("routebricks: unknown Placement %d", int(o.Placement))
+	}
+	return nil
+}
+
+// withDefaults fills the documented Load defaults.
+func (o Options) withDefaults() Options {
+	if o.Cores == 0 {
+		o.Cores = 1
+	}
+	if o.KP == 0 {
+		o.KP = 32
+	}
+	if o.InputCap == 0 {
+		o.InputCap = 4096
+	}
+	if o.HandoffCap == 0 {
+		o.HandoffCap = 1024
+	}
+	if o.Registry == nil {
+		o.Registry = elements.StandardRegistry()
+	}
+	return o
+}
+
+// merge layers next over cur for Reload/Replan: zero numeric fields,
+// nil funcs, and an empty Entry inherit the pipeline's current values.
+// Placement is taken as given — its zero value is Parallel, so callers
+// that want to keep a non-default placement pass p.Placement() (or Auto
+// to re-decide).
+func merge(cur, next Options) Options {
+	if next.Cores == 0 {
+		next.Cores = cur.Cores
+	}
+	if next.KP == 0 {
+		next.KP = cur.KP
+	}
+	if next.InputCap == 0 {
+		next.InputCap = cur.InputCap
+	}
+	if next.HandoffCap == 0 {
+		next.HandoffCap = cur.HandoffCap
+	}
+	if next.Registry == nil {
+		next.Registry = cur.Registry
+	}
+	if next.Prebound == nil {
+		next.Prebound = cur.Prebound
+	}
+	if next.Entry == "" {
+		next.Entry = cur.Entry
+	}
+	if next.Sink == nil {
+		next.Sink = cur.Sink
+	}
+	return next
+}
+
+// Pipeline is a loaded, placed, runnable Click program, and the live
+// control plane over it: Start/Stop/Step drive the current plan,
+// Reload/Replan swap it under a drain barrier, Snapshot observes it.
+//
+// Concurrency: the data-plane accessors (Push, Step, Snapshot, Stats,
+// ...) may be called from any goroutine and remain safe across
+// concurrent Reload/Replan calls — a swap briefly blocks them at the
+// drain barrier. Pointers obtained through Input, Router, Element, or
+// Plan refer to the plan that was current at call time and go stale
+// when a swap installs a new one; re-fetch after a reload, or stick to
+// Push/Snapshot, which always address the live plan.
 type Pipeline struct {
+	// pmu guards the identity of the current plan: data-plane accessors
+	// hold it shared, Reload/Replan exclusively while they drain the old
+	// plan and install the new one.
+	pmu  sync.RWMutex
 	plan *click.Plan
 	ctx  click.Context // deterministic-stepping context (Step)
+
+	text string  // Click text of the current plan
+	opts Options // normalized options of the current plan (Placement resolved)
+
+	running    bool                // Start..Stop
+	generation uint64              // bumped once per successful swap
+	decision   string              // how the current placement was chosen
+	calib      []CalibrationResult // Auto candidate measurements, when calibrated
+
+	// drainDrops counts packets a bounded reload drain had to recycle
+	// because the old graph would not drain them (a wedged terminal);
+	// they are accounted in Drops and the Snapshot.
+	drainDrops atomic.Uint64
 }
 
 // Load parses a Click-language configuration and materializes it across
@@ -87,24 +218,50 @@ type Pipeline struct {
 // instantiated once per chain — every core of a Parallel plan runs an
 // independent copy of the whole graph; a Pipelined plan cuts the
 // graph's trunk across cores wherever the topology allows (side
-// branches stay with the trunk element that feeds them).
+// branches stay with the trunk element that feeds them). Placement:
+// Auto builds both candidate plans and picks the winner of a short
+// deterministic calibration (see Describe for the recorded decision).
 //
 // The returned pipeline is idle: feed packets into Input(chain) /
 // Push and call Start (real goroutines) or Step (deterministic,
 // single-threaded) to move them.
 func Load(clickText string, opts Options) (*Pipeline, error) {
-	if opts.Cores == 0 {
-		opts.Cores = 1
+	if err := opts.validate(); err != nil {
+		return nil, err
 	}
-	if opts.Cores < 0 {
-		return nil, fmt.Errorf("routebricks: Cores must be positive, got %d", opts.Cores)
+	opts = opts.withDefaults()
+	plan, decided, decision, calib, err := buildPlan(clickText, opts)
+	if err != nil {
+		return nil, err
 	}
-	reg := opts.Registry
-	if reg == nil {
-		reg = elements.StandardRegistry()
-	}
-	prog := click.ParseProgram(clickText, reg, opts.Prebound)
+	return &Pipeline{
+		plan:     plan,
+		text:     clickText,
+		opts:     decided,
+		decision: decision,
+		calib:    calib,
+	}, nil
+}
+
+// buildPlan parses text and materializes a plan under opts (which must
+// already be validated and defaulted), resolving Placement: Auto by
+// calibration. It returns the plan, the options with the decided
+// placement, the decision record, and the candidate measurements.
+func buildPlan(text string, opts Options) (*click.Plan, Options, string, []CalibrationResult, error) {
+	prog := click.ParseProgram(text, opts.Registry, opts.Prebound)
 	prog.Entry = opts.Entry
+	var (
+		decision string
+		calib    []CalibrationResult
+	)
+	if opts.Placement == Auto {
+		kind, d, results, err := calibrate(prog, opts)
+		if err != nil {
+			return nil, opts, "", nil, err
+		}
+		opts.Placement = kind
+		decision, calib = d, results
+	}
 	plan, err := click.NewPlan(click.PlanConfig{
 		Kind:       opts.Placement,
 		Cores:      opts.Cores,
@@ -115,22 +272,44 @@ func Load(clickText string, opts Options) (*Pipeline, error) {
 		Sink:       opts.Sink,
 	})
 	if err != nil {
-		return nil, err
+		return nil, opts, "", nil, err
 	}
-	return &Pipeline{plan: plan}, nil
+	return plan, opts, decision, calib, nil
 }
 
 // Start launches the pipeline's cores as real goroutines.
-func (p *Pipeline) Start() error { return p.plan.Start() }
+func (p *Pipeline) Start() error {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	if p.running {
+		return fmt.Errorf("routebricks: pipeline already started")
+	}
+	if err := p.plan.Start(); err != nil {
+		return err
+	}
+	p.running = true
+	return nil
+}
 
 // Stop halts the cores and waits for them to exit.
-func (p *Pipeline) Stop() { p.plan.Stop() }
+func (p *Pipeline) Stop() {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
+	if p.running {
+		p.plan.Stop()
+		p.running = false
+	}
+}
 
 // Step executes one quantum of every core synchronously on the calling
 // goroutine — the deterministic execution mode for tests and
 // simulations. It reports packets moved and must not be mixed with
-// Start.
+// Start. Exactly one goroutine may drive Step; Reload/Replan from
+// another goroutine are still safe (the swap serializes against the
+// stepper).
 func (p *Pipeline) Step() int {
+	p.pmu.RLock()
+	defer p.pmu.RUnlock()
 	n := 0
 	for core := 0; core < p.plan.Cores(); core++ {
 		n += p.plan.RunStep(core, &p.ctx)
@@ -141,52 +320,151 @@ func (p *Pipeline) Step() int {
 
 // Chains reports the number of independent graph replicas (== Cores
 // for parallel placements).
-func (p *Pipeline) Chains() int { return p.plan.Chains() }
+func (p *Pipeline) Chains() int {
+	p.pmu.RLock()
+	defer p.pmu.RUnlock()
+	return p.plan.Chains()
+}
 
 // Cores reports the plan width.
-func (p *Pipeline) Cores() int { return p.plan.Cores() }
+func (p *Pipeline) Cores() int {
+	p.pmu.RLock()
+	defer p.pmu.RUnlock()
+	return p.plan.Cores()
+}
 
-// Input returns chain i's input ring. Each ring is single-producer:
-// feed it from exactly one goroutine.
-func (p *Pipeline) Input(i int) *Ring { return p.plan.Input(i) }
+// Placement reports the current plan's (resolved) core allocation.
+func (p *Pipeline) Placement() PlanKind {
+	p.pmu.RLock()
+	defer p.pmu.RUnlock()
+	return p.plan.Kind()
+}
+
+// Generation reports how many plan swaps (Reload/Replan) have been
+// installed; 0 is the plan Load built. Snapshot counters reset at each
+// generation boundary.
+func (p *Pipeline) Generation() uint64 {
+	p.pmu.RLock()
+	defer p.pmu.RUnlock()
+	return p.generation
+}
+
+// Input returns chain i's input ring (nil when i is out of range). Each
+// ring is single-producer: feed it from exactly one goroutine. The
+// pointer refers to the current plan and goes stale after Reload/
+// Replan; producers that must stay valid across swaps use Push.
+func (p *Pipeline) Input(i int) *Ring {
+	p.pmu.RLock()
+	defer p.pmu.RUnlock()
+	if i < 0 || i >= p.plan.Chains() {
+		return nil
+	}
+	return p.plan.Input(i)
+}
 
 // Push feeds one packet to chain i, reporting false when the ring is
-// full (the caller keeps ownership of a rejected packet).
-func (p *Pipeline) Push(i int, pk *Packet) bool { return p.plan.Input(i).Push(pk) }
+// full or a reload is in progress (the caller keeps ownership of a
+// rejected packet and may retry). It never blocks on the drain
+// barrier — a swap in progress reads as backpressure, so socket-reader
+// feeders keep servicing their sockets. Out-of-range chains reject
+// rather than panic, so feeders keyed on a stale Chains() survive a
+// swap that narrowed the plan.
+func (p *Pipeline) Push(i int, pk *Packet) bool {
+	if !p.pmu.TryRLock() {
+		return false // reload in progress: the drain barrier owns the plan
+	}
+	defer p.pmu.RUnlock()
+	if i < 0 || i >= p.plan.Chains() {
+		return false
+	}
+	return p.plan.Input(i).Push(pk)
+}
 
 // Router returns chain i's element graph, for inspection (counters,
-// per-chain state) and DOT export.
-func (p *Pipeline) Router(i int) *Router { return p.plan.Router(i) }
+// per-chain state) and DOT export. Stale after a swap.
+func (p *Pipeline) Router(i int) *Router {
+	p.pmu.RLock()
+	defer p.pmu.RUnlock()
+	if i < 0 || i >= p.plan.Chains() {
+		return nil
+	}
+	return p.plan.Router(i)
+}
 
 // Element returns the named element of chain i's graph, or nil.
 func (p *Pipeline) Element(chain int, name string) Element {
-	if r := p.plan.Router(chain); r != nil {
+	if r := p.Router(chain); r != nil {
 		return r.Get(name)
 	}
 	return nil
 }
 
-// Stats returns the per-core counter blocks, in core order.
-func (p *Pipeline) Stats() []*CoreStat { return p.plan.Stats() }
+// Stats returns the per-core counter blocks of the current plan, in
+// core order — a shim over Snapshot for callers that want the live
+// atomics rather than a copied view.
+func (p *Pipeline) Stats() []*CoreStat {
+	p.pmu.RLock()
+	defer p.pmu.RUnlock()
+	return p.plan.Stats()
+}
 
-// Drops reports packets the plan itself lost to handoff-ring overflow
-// (0 in steady state: polling is backpressure-capped).
-func (p *Pipeline) Drops() uint64 { return p.plan.Drops() }
+// Drops reports packets the pipeline itself lost: handoff-ring
+// overflow in the current plan (0 in steady state — polling is
+// backpressure-capped) plus packets a bounded reload drain had to
+// recycle. A shim over Snapshot().Drops.
+func (p *Pipeline) Drops() uint64 {
+	p.pmu.RLock()
+	defer p.pmu.RUnlock()
+	return p.plan.Drops() + p.drainDrops.Load()
+}
 
-// Queued reports packets currently sitting in the pipeline's rings.
-func (p *Pipeline) Queued() int { return p.plan.Queued() }
+// Queued reports packets currently sitting in the pipeline's rings. A
+// shim over Snapshot().Queued.
+func (p *Pipeline) Queued() int {
+	p.pmu.RLock()
+	defer p.pmu.RUnlock()
+	return p.plan.Queued()
+}
 
-// Describe renders the placement map: which trunk segments run on
-// which core, and where the handoff rings sit.
-func (p *Pipeline) Describe() string { return p.plan.Describe() }
-
-// DOT renders chain 0's element graph in Graphviz format.
-func (p *Pipeline) DOT() string {
-	if r := p.plan.Router(0); r != nil {
-		return r.DOT()
+// Describe renders the placement map — which trunk segments run on
+// which core, where the handoff rings sit — plus the plan generation
+// and, for calibrated placements, the recorded Auto decision.
+func (p *Pipeline) Describe() string {
+	p.pmu.RLock()
+	defer p.pmu.RUnlock()
+	desc := p.plan.Describe()
+	desc += fmt.Sprintf("  generation %d\n", p.generation)
+	if p.decision != "" {
+		desc += "  " + p.decision + "\n"
 	}
-	return ""
+	return desc
+}
+
+// DOT renders a chain's element graph in Graphviz format, titled with
+// the plan kind, generation, and chain so hot-reloaded graphs are
+// distinguishable. The zero-argument form keeps the historical
+// behavior of rendering chain 0.
+func (p *Pipeline) DOT(chain ...int) string {
+	c := 0
+	if len(chain) > 0 {
+		c = chain[0]
+	}
+	p.pmu.RLock()
+	defer p.pmu.RUnlock()
+	if c < 0 || c >= p.plan.Chains() {
+		return ""
+	}
+	r := p.plan.Router(c)
+	if r == nil {
+		return ""
+	}
+	return r.DOTTitled(fmt.Sprintf("%s plan, gen %d, chain %d", p.plan.Kind(), p.generation, c))
 }
 
 // Plan exposes the underlying placement plan for advanced callers.
-func (p *Pipeline) Plan() *click.Plan { return p.plan }
+// Stale after Reload/Replan.
+func (p *Pipeline) Plan() *click.Plan {
+	p.pmu.RLock()
+	defer p.pmu.RUnlock()
+	return p.plan
+}

@@ -45,6 +45,24 @@
 // the accepted syntax subset; see TestLoadEquivalence for the
 // placement-independence contract.
 //
+// The pipeline is a live control plane, not a build-once artifact:
+//
+//   - Placement: routebricks.Auto makes the §4.2 allocation a measured
+//     decision — Load builds both candidate plans, drives a short
+//     deterministic calibration through each, and picks the winner
+//     (recorded in Describe, Snapshot.Decision, and Calibration).
+//   - pipe.Reload(newText, opts) hot-swaps the program under a drain
+//     barrier — in-flight packets are stepped out, the new plan
+//     installs atomically, prebound resources carry over — with zero
+//     loss (TestReloadEquivalence); pipe.Replan(opts) re-decides the
+//     placement of the current program the same way. cmd/rbrouter
+//     wires Reload to SIGHUP.
+//   - pipe.Snapshot() unifies observability: plan kind + generation,
+//     per-core counters, per-ring depth/capacity/backpressure, and
+//     per-element counters in one typed, JSON-ready value;
+//     Snapshot.Delta(prev) yields rates. cmd/rbrouter serves it on
+//     -stats-addr.
+//
 // The rest of the facade:
 //
 //   - Cluster / RB4: the parallel router (internal/cluster), simulated on
