@@ -28,17 +28,20 @@ bench:
 # target (a pipe would return tee's status, not go test's).
 BENCH_OUT ?= bench-smoke.txt
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkDispatch|BenchmarkServerModel|BenchmarkPlacement' -benchmem -benchtime 100x . > $(BENCH_OUT) 2>&1; \
+	$(GO) test -run '^$$' -bench 'BenchmarkDispatch|BenchmarkServerModel|BenchmarkPlacement|BenchmarkHandoff' -benchmem -benchtime 100x . > $(BENCH_OUT) 2>&1; \
 	status=$$?; cat $(BENCH_OUT); exit $$status
 
 # Machine-readable perf trajectory: the BenchmarkPlacement sweep plus
-# the Placement: Auto calibration scores, as one JSON document. CI
-# regenerates it per commit; the checked-in copy is the trajectory
-# seed.
+# the Placement: Auto calibration scores under pinned cost-model
+# inputs, as one JSON document. CI regenerates it per commit; the
+# checked-in copy is both the trajectory seed and the decision-diff
+# baseline — benchjson fails this target when Auto's decided placement
+# changes for inputs that did not (commit a regenerated file to accept
+# an intentional change).
 BENCH_JSON ?= BENCH_placement.json
 PLACEMENT_OUT ?= placement-bench.txt
 bench-json:
 	$(GO) test -run '^$$' -bench BenchmarkPlacement -benchmem -benchtime 100x . > $(PLACEMENT_OUT) 2>&1; \
 	status=$$?; cat $(PLACEMENT_OUT); [ $$status -eq 0 ] || exit $$status
-	$(GO) run ./internal/tools/benchjson -bench $(PLACEMENT_OUT) -out $(BENCH_JSON)
+	$(GO) run ./internal/tools/benchjson -bench $(PLACEMENT_OUT) -baseline $(BENCH_JSON) -out $(BENCH_JSON)
 	@echo wrote $(BENCH_JSON)

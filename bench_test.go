@@ -251,6 +251,62 @@ func BenchmarkDispatch(b *testing.B) {
 	b.Run("batch", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkHandoff is the cost the placement model prices: one op is
+// one packet moved through an SPSC exec.Ring from this goroutine to an
+// echo goroutine and back (kp-sized batches, mirroring pollTask), so
+// ns/op is the round trip and the reported cycles/pkt metric — one
+// crossing, at the paper's 2.8 GHz Nehalem clock — is directly
+// comparable to the figure exec.MeasureHandoff feeds the cost model at
+// Load time.
+func BenchmarkHandoff(b *testing.B) {
+	const kp = 32
+	ping := exec.NewRing(kp)
+	pong := exec.NewRing(kp)
+	pkts := make([]*pkt.Packet, kp)
+	for i := range pkts {
+		pkts[i] = &pkt.Packet{}
+	}
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		batch := pkt.NewBatch(kp)
+		for !stop.Load() {
+			batch.Reset()
+			if ping.PopBatchInto(batch, kp) == 0 {
+				runtime.Gosched()
+				continue
+			}
+			pong.PushBatch(batch)
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for remaining := b.N; remaining > 0; {
+		n := kp
+		if remaining < n {
+			n = remaining
+		}
+		for _, p := range pkts[:n] {
+			for !ping.Push(p) {
+				runtime.Gosched()
+			}
+		}
+		for got := 0; got < n; {
+			if p := pong.Pop(); p != nil {
+				got++
+			} else {
+				runtime.Gosched()
+			}
+		}
+		remaining -= n
+	}
+	b.StopTimer()
+	stop.Store(true)
+	<-done
+	b.ReportMetric(b.Elapsed().Seconds()*2.8e9/float64(2*b.N), "cycles/pkt")
+}
+
 // placementSink terminates a placement-benchmark chain: it counts the
 // delivery and returns the packet to the chain's free ring so the
 // producer can re-inject it — a closed loop with zero steady-state

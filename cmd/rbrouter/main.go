@@ -24,8 +24,11 @@
 //
 // The process is live-operable while it runs: SIGHUP re-reads -config
 // and hot-swaps every node's ingress pipeline under the library's drain
-// barrier (prebound FIB/VLB resources carry over), and -stats-addr
-// serves the cluster's unified stats snapshot as JSON over HTTP.
+// barrier (prebound FIB/VLB resources carry over), -replan-auto starts
+// a per-node controller that watches observed load and re-decides the
+// placement automatically when the per-core imbalance crosses its
+// hysteresis threshold, and -stats-addr serves the cluster's unified
+// stats snapshot (plus controller state) as JSON over HTTP.
 //
 // Usage:
 //
@@ -33,6 +36,7 @@
 //	rbrouter -nodes 6 -packets 50000 -flowlets=false
 //	rbrouter -cores 4 -placement pipelined
 //	rbrouter -cores 4 -placement auto   # calibrate and pick the allocation
+//	rbrouter -cores 4 -placement auto -replan-auto   # keep re-deciding under load
 //	rbrouter -config my.click     # custom per-node ingress program
 //	rbrouter -stats-addr 127.0.0.1:8642   # GET /stats → JSON snapshot
 //	kill -HUP <pid>               # reload -config into the running datapath
@@ -102,6 +106,7 @@ type node struct {
 
 	ingress *routebricks.Pipeline
 	transit *click.Plan
+	ctrl    *routebricks.Controller // adaptive replan watcher (-replan-auto)
 
 	// Batch-aware UDP egress: datapath cores enqueue frames into
 	// per-destination rings; one writer goroutine per destination pays
@@ -228,6 +233,28 @@ func countDrop(n *atomic.Uint64) *elements.Sink {
 		Fn:      func(_ *click.Context, _ *pkt.Packet) { n.Add(1) },
 		Recycle: pkt.DefaultPool,
 	}
+}
+
+// probePlacement decides the core allocation for cfgText by Auto
+// calibration against hermetic stand-in terminals: calibration drives
+// synthetic packets through the candidate plans, so the probe graph
+// must not touch sockets or pollute node counters. Used at startup for
+// -placement auto and again by every -replan-auto controller trip.
+func probePlacement(cfgText string, table *lpm.Dir248, cores int) (*routebricks.Pipeline, error) {
+	return routebricks.Load(cfgText, routebricks.Options{
+		Cores:     cores,
+		Placement: routebricks.Auto,
+		Prebound: func(int) map[string]routebricks.Element {
+			sink := func() routebricks.Element { return &elements.Sink{Recycle: pkt.DefaultPool} }
+			return map[string]routebricks.Element{
+				"fib":       elements.NewLPMLookup(table),
+				"vlb":       sink(),
+				"badhdr":    sink(),
+				"badttl":    sink(),
+				"missroute": sink(),
+			}
+		},
+	})
 }
 
 // printPrebound stands in for a node's runtime resources when the
@@ -417,6 +444,9 @@ func (nd *node) start() error {
 }
 
 func (nd *node) shutdown() {
+	if nd.ctrl != nil {
+		nd.ctrl.Stop()
+	}
 	nd.stop.Store(true)
 	nd.wg.Wait() // readers gone: nothing feeds the datapath
 	nd.ingress.Stop()
@@ -444,6 +474,7 @@ func run() error {
 		cores      = flag.Int("cores", 1, "datapath cores per node")
 		placement  = flag.String("placement", "parallel", "core allocation: parallel, pipelined, or auto (calibrate and pick)")
 		configPath = flag.String("config", "", "Click-language ingress program (default: embedded IP router config)")
+		replanAuto = flag.Bool("replan-auto", false, "watch per-node load and Replan(auto) when the observed imbalance crosses the controller's threshold")
 		printGraph = flag.Bool("print-graph", false, "print the ingress element graph as Graphviz dot and exit")
 		pcapPath   = flag.String("pcap", "", "capture egress traffic to this pcap file")
 		statsAddr  = flag.String("stats-addr", "", "serve the cluster stats snapshot as JSON on this HTTP address (GET /stats)")
@@ -510,20 +541,7 @@ func run() error {
 	// probe must not touch sockets or pollute node counters); every node
 	// then gets the measured decision.
 	if autoPlace {
-		probe, err := routebricks.Load(cfgText, routebricks.Options{
-			Cores:     *cores,
-			Placement: routebricks.Auto,
-			Prebound: func(int) map[string]routebricks.Element {
-				sink := func() routebricks.Element { return &elements.Sink{Recycle: pkt.DefaultPool} }
-				return map[string]routebricks.Element{
-					"fib":       elements.NewLPMLookup(table),
-					"vlb":       sink(),
-					"badhdr":    sink(),
-					"badttl":    sink(),
-					"missroute": sink(),
-				}
-			},
-		})
+		probe, err := probePlacement(cfgText, table, *cores)
 		if err != nil {
 			return fmt.Errorf("auto placement calibration: %w", err)
 		}
@@ -554,6 +572,35 @@ func run() error {
 		if err := nd.start(); err != nil {
 			return err
 		}
+	}
+	// -replan-auto: one controller per node watches the ingress
+	// pipeline's Snapshot deltas and re-decides the placement when the
+	// observed per-core imbalance (or ring backpressure growth) crosses
+	// the hysteresis thresholds. State is served in -stats-addr JSON.
+	// The controller's default action would calibrate through the
+	// node's live terminals and emit synthetic frames into the mesh, so
+	// the hook decides against the hermetic probe first and replans
+	// with the explicit winner.
+	var cfgMu sync.Mutex
+	cfgCurrent := cfgText // kept in step with successful SIGHUP reloads
+	if *replanAuto {
+		for _, nd := range nodes {
+			nd := nd
+			nd.ctrl = nd.ingress.NewController(routebricks.ControllerConfig{
+				Replan: func() error {
+					cfgMu.Lock()
+					text := cfgCurrent
+					cfgMu.Unlock()
+					probe, err := probePlacement(text, table, *cores)
+					if err != nil {
+						return err
+					}
+					return nd.ingress.Replan(routebricks.Options{Placement: probe.Placement()})
+				},
+			})
+			nd.ctrl.Start()
+		}
+		fmt.Println("replan-auto: per-node controllers watching ingress load")
 	}
 	fmt.Printf("rbrouter: %d nodes meshed over UDP, injecting %d packets at %d pps (flowlets=%v)\n",
 		*nNodes, *packets, *rate, *flowlets)
@@ -588,6 +635,9 @@ func run() error {
 				}
 			}
 			if ok {
+				cfgMu.Lock()
+				cfgCurrent = text
+				cfgMu.Unlock()
 				fmt.Printf("rbrouter: reloaded %s (generation %d)\n", src, nodes[0].ingress.Generation())
 			}
 		}
@@ -703,17 +753,18 @@ func run() error {
 // the library's unified ingress Snapshot plus the node's socket-level
 // counters (which live outside the pipeline).
 type nodeSnapshot struct {
-	ID             int                  `json:"id"`
-	Ingress        routebricks.Snapshot `json:"ingress"`
-	TransitQueued  int                  `json:"transit_queued"`
-	TransitPackets uint64               `json:"transit_packets"`
-	Forwarded      uint64               `json:"forwarded"`
-	Egressed       uint64               `json:"egressed"`
-	RouteMisses    uint64               `json:"route_misses"`
-	HeaderDrops    uint64               `json:"header_drops"`
-	RxDrops        uint64               `json:"rx_drops"`
-	TxBatches      uint64               `json:"tx_batches"`
-	TxStalls       uint64               `json:"tx_stalls"`
+	ID             int                          `json:"id"`
+	Ingress        routebricks.Snapshot         `json:"ingress"`
+	Controller     *routebricks.ControllerState `json:"controller,omitempty"`
+	TransitQueued  int                          `json:"transit_queued"`
+	TransitPackets uint64                       `json:"transit_packets"`
+	Forwarded      uint64                       `json:"forwarded"`
+	Egressed       uint64                       `json:"egressed"`
+	RouteMisses    uint64                       `json:"route_misses"`
+	HeaderDrops    uint64                       `json:"header_drops"`
+	RxDrops        uint64                       `json:"rx_drops"`
+	TxBatches      uint64                       `json:"tx_batches"`
+	TxStalls       uint64                       `json:"tx_stalls"`
 }
 
 func clusterSnapshot(nodes []*node) []nodeSnapshot {
@@ -723,9 +774,15 @@ func clusterSnapshot(nodes []*node) []nodeSnapshot {
 		for _, s := range nd.transit.Stats() {
 			transitPkts += s.Packets()
 		}
+		var ctrlState *routebricks.ControllerState
+		if nd.ctrl != nil {
+			st := nd.ctrl.State()
+			ctrlState = &st
+		}
 		out[i] = nodeSnapshot{
 			ID:             nd.id,
 			Ingress:        nd.ingress.Snapshot(),
+			Controller:     ctrlState,
 			TransitQueued:  nd.transit.Queued(),
 			TransitPackets: transitPkts,
 			Forwarded:      nd.forwarded.Load(),

@@ -2,6 +2,9 @@ package routebricks
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"routebricks/internal/click"
 	"routebricks/internal/pkt"
@@ -20,11 +23,6 @@ import (
 const (
 	// calibPackets is the synthetic workload size per candidate.
 	calibPackets = 1024
-	// handoffCycles charges each packet that crossed a handoff ring the
-	// modeled cost of the inter-core cache-line transfers the crossing
-	// implies — the coherence traffic the paper identifies as the reason
-	// the parallel allocation wins (§4.2).
-	handoffCycles = 120
 	// maxCalibRounds bounds a calibration against graphs that never
 	// drain (a cycle that regenerates packets); the score covers
 	// whatever moved.
@@ -34,15 +32,26 @@ const (
 // CalibrationResult records one Placement: Auto candidate measurement:
 // the deterministic calibration workload driven through a real
 // materialized plan via RunStep, scored as the bottleneck core's
-// charged virtual cycles plus the modeled cost of every cross-core
-// handoff. Lower score wins.
+// charged virtual cycles plus the cost model's price for every
+// observed ring crossing (same-socket handoffs at the measured
+// per-packet cost, cross-socket ones at the model's premium). Lower
+// score wins.
 type CalibrationResult struct {
 	Plan             string  `json:"plan"`
 	Packets          int     `json:"packets"`
 	Rounds           int     `json:"rounds"`
 	BottleneckCycles float64 `json:"bottleneck_cycles"`
 	HandoffPackets   uint64  `json:"handoff_packets"`
-	Score            float64 `json:"score"`
+	// CrossSocketPackets is how many of the handoff crossings spanned a
+	// socket boundary under the candidate's topology.
+	CrossSocketPackets uint64 `json:"cross_socket_packets,omitempty"`
+	// ModelCost is the cost model's total price for the candidate's
+	// ring crossings, amortized per chain — what the flat
+	// 120-cycles-per-handoff term used to approximate.
+	ModelCost float64 `json:"model_cost"`
+	// Model names the cost model and its terms.
+	Model string  `json:"model,omitempty"`
+	Score float64 `json:"score"`
 
 	kind click.PlanKind
 }
@@ -85,8 +94,8 @@ func calibrate(prog *click.Program, opts Options) (click.PlanKind, string, []Cal
 		}
 	}
 	decision := fmt.Sprintf(
-		"auto: calibrated %d packets at %d cores — parallel score %.0f vs pipelined %.0f (bottleneck cycles + %d/handoff) → %s",
-		calibPackets, opts.Cores, results[0].Score, results[1].Score, handoffCycles, best)
+		"auto: calibrated %d packets at %d cores — parallel score %.0f vs pipelined %.0f (bottleneck cycles + %s) → %s",
+		calibPackets, opts.Cores, results[0].Score, results[1].Score, opts.costModel().Describe(), best)
 	return best, decision, results, nil
 }
 
@@ -94,17 +103,10 @@ func calibrate(prog *click.Program, opts Options) (click.PlanKind, string, []Cal
 // and steps every core round-robin until the plan drains. The score
 // models steady-state throughput: the busiest core's charged cycles
 // (elements charge their calibrated per-packet costs to the Context)
-// plus the handoff penalty amortized per chain.
+// plus the cost model's price for every observed ring crossing,
+// amortized per chain.
 func measure(prog *click.Program, opts Options, kind click.PlanKind) (CalibrationResult, error) {
-	plan, err := click.NewPlan(click.PlanConfig{
-		Kind:       kind,
-		Cores:      opts.Cores,
-		Program:    prog,
-		KP:         opts.KP,
-		InputCap:   opts.InputCap,
-		HandoffCap: opts.HandoffCap,
-		Sink:       opts.Sink,
-	})
+	plan, err := click.NewPlan(planConfig(prog, opts, kind))
 	if err != nil {
 		return CalibrationResult{}, err
 	}
@@ -129,18 +131,28 @@ func measure(prog *click.Program, opts Options, kind click.PlanKind) (Calibratio
 			break
 		}
 	}
-	// Packets entering a core beyond what was injected arrived via a
-	// handoff ring — each such arrival is a cross-core transfer. A
-	// candidate that hit maxCalibRounds with packets still queued can
-	// have entered < fed; saturate rather than wrap.
-	var entered uint64
+	// Every core polls exactly one upstream ring, so a ring's crossing
+	// count is its consumer core's pulled-packet counter; the model
+	// prices each ring by its endpoints (input locality, same- vs
+	// cross-socket handoff).
+	pulled := make(map[int]uint64, len(plan.Stats()))
 	for _, s := range plan.Stats() {
-		entered += s.Packets()
+		pulled[s.Core] = s.Packets()
 	}
-	crossings := uint64(0)
-	if entered > uint64(fed) {
-		crossings = entered - uint64(fed)
+	topo := plan.Topology()
+	var modelCost float64
+	var crossings, crossSocket uint64
+	for _, pr := range plan.Rings() {
+		n := pulled[pr.To]
+		modelCost += pr.Cost * float64(n)
+		if pr.Role == "handoff" {
+			crossings += n
+			if topo.SocketOf(pr.From) != topo.SocketOf(pr.To) {
+				crossSocket += n
+			}
+		}
 	}
+	modelCost /= float64(plan.Chains())
 	bottleneck := 0.0
 	for _, c := range perCore {
 		if c > bottleneck {
@@ -148,14 +160,261 @@ func measure(prog *click.Program, opts Options, kind click.PlanKind) (Calibratio
 		}
 	}
 	return CalibrationResult{
-		Plan:             kind.String(),
-		Packets:          fed,
-		Rounds:           rounds,
-		BottleneckCycles: bottleneck,
-		HandoffPackets:   crossings,
-		Score:            bottleneck + handoffCycles*float64(crossings)/float64(plan.Chains()),
-		kind:             kind,
+		Plan:               kind.String(),
+		Packets:            fed,
+		Rounds:             rounds,
+		BottleneckCycles:   bottleneck,
+		HandoffPackets:     crossings,
+		CrossSocketPackets: crossSocket,
+		ModelCost:          modelCost,
+		Model:              plan.Cost().Describe(),
+		Score:              bottleneck + modelCost,
+		kind:               kind,
 	}, nil
+}
+
+// ControllerConfig tunes the adaptive Replan controller — the
+// goroutine that watches Snapshot deltas and calls Replan when the
+// observed load diverges from what the current placement assumed.
+// Zero fields take the documented defaults.
+type ControllerConfig struct {
+	// Interval between observations (default 250ms).
+	Interval time.Duration
+	// HighWater trips the controller when an interval's imbalance ratio
+	// (max/mean per-core packets, Snapshot.Imbalance) reaches it
+	// (default 1.5).
+	HighWater float64
+	// LowWater re-arms the controller only once imbalance falls below
+	// it (default 1.1) — the hysteresis band that keeps a steady skewed
+	// load from replanning over and over.
+	LowWater float64
+	// MinPackets skips intervals that moved fewer packets (idle noise
+	// must neither trip nor re-arm the controller; default 256).
+	MinPackets uint64
+	// RejectedStep trips the controller when ring rejections grow by at
+	// least this much in one interval, regardless of imbalance — the
+	// backpressure signal (default 4096; negative disables).
+	RejectedStep int64
+	// Replan overrides the corrective action taken on a trip. The
+	// default is Pipeline.Replan(Placement: Auto), whose calibration
+	// drives synthetic packets through the pipeline's real prebound
+	// terminals — hosts whose terminals touch the outside world (emit
+	// on sockets, count into shared stats) supply a hook that decides
+	// placement against hermetic stand-ins first and then replans with
+	// the explicit winner (see rbrouter -replan-auto).
+	Replan func() error
+}
+
+func (c ControllerConfig) withDefaults() ControllerConfig {
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.HighWater <= 0 {
+		c.HighWater = 1.5
+	}
+	if c.LowWater <= 0 {
+		c.LowWater = 1.1
+	}
+	if c.MinPackets == 0 {
+		c.MinPackets = 256
+	}
+	if c.RejectedStep == 0 {
+		c.RejectedStep = 4096
+	}
+	// An inverted band (LowWater above HighWater — e.g. a user-set
+	// HighWater under the LowWater default) would re-arm at levels that
+	// immediately re-trip, replanning every other interval; clamp so
+	// the hysteresis contract holds for any configuration.
+	if c.LowWater > c.HighWater {
+		c.LowWater = c.HighWater
+	}
+	return c
+}
+
+// ControllerState is the controller's observable state, shaped for the
+// stats JSON (rbrouter -stats-addr serves it next to each node's
+// Snapshot).
+type ControllerState struct {
+	// Armed reports whether the next threshold breach will replan; the
+	// controller disarms when it fires and re-arms below LowWater.
+	Armed bool `json:"armed"`
+	// Observations counts non-idle intervals examined.
+	Observations uint64 `json:"observations"`
+	// Replans counts automatic Replan calls that succeeded.
+	Replans uint64 `json:"replans"`
+	// LastImbalance is the most recent interval's max/mean per-core
+	// packet ratio.
+	LastImbalance float64 `json:"last_imbalance"`
+	// LastReason records why the controller last fired.
+	LastReason string `json:"last_reason,omitempty"`
+	// LastError records the most recent Replan failure, if any.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Controller is the adaptive half of the Replan story: it samples the
+// pipeline's Snapshot on an interval, reduces each interval to the
+// imbalance ratio and the ring-rejection growth, and calls
+// Replan(Placement: Auto) when the observed skew crosses the
+// high-water mark — once, thanks to hysteresis: it will not fire again
+// until the load has settled below the low-water mark. Build one with
+// Pipeline.NewController; Start launches the watching goroutine,
+// Observe is the deterministic single-step used by tests and Step-mode
+// hosts.
+type Controller struct {
+	pipe *Pipeline
+	cfg  ControllerConfig
+
+	// obsMu serializes Observe (which may run a whole Replan); mu
+	// guards the readable state and is only ever held briefly, so
+	// State() — and anything polling it, like rbrouter's /stats — never
+	// blocks behind a swap in progress.
+	obsMu sync.Mutex
+	mu    sync.Mutex
+	state ControllerState
+	prev  Snapshot
+	ready bool // prev holds a baseline for the current generation
+
+	started  atomic.Bool
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewController builds a replan controller over the pipeline. It takes
+// a baseline snapshot immediately; call Start to watch on an interval,
+// or Observe from your own loop.
+func (p *Pipeline) NewController(cfg ControllerConfig) *Controller {
+	c := &Controller{
+		pipe: p,
+		cfg:  cfg.withDefaults(),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	c.state.Armed = true
+	c.prev = p.Snapshot()
+	c.ready = true
+	return c
+}
+
+// Start launches the controller goroutine (at most once). Stop it
+// before stopping the pipeline for good (a replan against a stopped
+// pipeline is legal but pointless).
+func (c *Controller) Start() {
+	if !c.started.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer close(c.done)
+		tick := time.NewTicker(c.cfg.Interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-tick.C:
+				c.Observe()
+			}
+		}
+	}()
+}
+
+// Stop halts the controller goroutine and waits for it (idempotent; a
+// controller that was never started just marks itself stopped).
+func (c *Controller) Stop() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	if c.started.Load() {
+		<-c.done
+	}
+}
+
+// State returns a copy of the controller's observable state.
+func (c *Controller) State() ControllerState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.state
+}
+
+// Observe takes one controller step: snapshot, delta against the
+// previous observation, threshold-and-hysteresis decision, and — when
+// tripped while armed — an automatic Replan(Placement: Auto). It
+// reports whether a replan fired. Safe from any goroutine; the ticking
+// goroutine calls it on its interval.
+func (c *Controller) Observe() bool {
+	c.obsMu.Lock()
+	defer c.obsMu.Unlock()
+	snap := c.pipe.Snapshot()
+
+	c.mu.Lock()
+	prev, hadPrev := c.prev, c.ready
+	c.prev, c.ready = snap, true
+	if !hadPrev || prev.Generation != snap.Generation || prev.Plan != snap.Plan {
+		// First sample of a generation: establish the baseline only.
+		c.mu.Unlock()
+		return false
+	}
+	d := snap.Delta(prev)
+	if d.TotalPackets() < c.cfg.MinPackets {
+		// Idle interval: no evidence either way.
+		c.mu.Unlock()
+		return false
+	}
+	c.state.Observations++
+	c.state.LastImbalance = d.Imbalance
+
+	rejectedTrip := c.cfg.RejectedStep > 0 && d.Rejected >= uint64(c.cfg.RejectedStep)
+	trip := false
+	switch {
+	case !c.state.Armed:
+		// Disarmed: re-arm only once the load has settled well below the
+		// trip point (and backpressure has stopped growing).
+		if d.Imbalance < c.cfg.LowWater && !rejectedTrip {
+			c.state.Armed = true
+		}
+	case d.Imbalance >= c.cfg.HighWater || rejectedTrip:
+		reason := fmt.Sprintf("imbalance %.2f >= %.2f", d.Imbalance, c.cfg.HighWater)
+		if rejectedTrip {
+			reason = fmt.Sprintf("ring rejections +%d >= %d", d.Rejected, c.cfg.RejectedStep)
+		}
+		c.state.Armed = false
+		c.state.LastReason = reason
+		trip = true
+	}
+	c.mu.Unlock()
+	if !trip {
+		return false
+	}
+
+	// The replan runs outside c.mu — it calibrates both candidates and
+	// holds the pipeline through a drain barrier, and State() must stay
+	// readable throughout. obsMu keeps concurrent Observes out.
+	err := c.replan()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err != nil {
+		// A failed corrective action must not latch the controller off:
+		// the skew it fired on persists (nothing was corrected), so
+		// staying disarmed would wait for a settling that cannot come.
+		// Re-arm to retry on the next tripping interval; the error stays
+		// visible in State until a replan succeeds.
+		c.state.LastError = err.Error()
+		c.state.Armed = true
+		return false
+	}
+	c.state.LastError = ""
+	c.state.Replans++
+	// The swap reset the pipeline's counters; rebase the next delta.
+	c.prev = c.pipe.Snapshot()
+	return true
+}
+
+// replan performs the controller's corrective action: Replan with the
+// configured Replan hook when one is set, the library's calibrated
+// Replan(Placement: Auto) otherwise.
+func (c *Controller) replan() error {
+	if c.cfg.Replan != nil {
+		return c.cfg.Replan()
+	}
+	return c.pipe.Replan(Options{Placement: Auto})
 }
 
 // maxDrainRounds bounds the reload drain barrier: a healthy graph

@@ -1,0 +1,241 @@
+package click
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// This file is the placement cost model: the pluggable pricing the
+// planner and the Auto calibration consult instead of hard-coded
+// constants. RouteBricks §5 shows a server's forwarding rate is bounded
+// by memory-bus and inter-socket traffic, not core count alone — so the
+// planner needs to know which cores share a socket (Topology) and what
+// a cache-line handoff between two cores actually costs (CostModel,
+// fed by exec.MeasureHandoff at load time). NewPlan consults the model
+// when it assigns chains to cores (a chain polls the socket that owns
+// its input queue; pipelined successors minimize the handoff price from
+// their predecessor), and calibration charges every measured ring
+// crossing at the model's price instead of a flat per-handoff constant.
+
+// Topology describes the socket layout placement runs against: how the
+// schedule's cores fold into CPU sockets and which socket owns each
+// input queue's memory (the NIC-queue affinity RSS implies). The zero
+// value is a flat single-socket host, under which every cost below
+// degenerates to the pre-topology behavior.
+//
+// Schedule cores are goroutines, not pinned OS threads, so a detected
+// topology is a best-effort prior for the cost model rather than a hard
+// binding; an explicitly supplied Topology is taken at face value.
+type Topology struct {
+	// Sockets is the number of CPU sockets; 0 or 1 means flat.
+	Sockets int
+	// CoresPerSocket is how many consecutive schedule cores share a
+	// socket: cores [0, CoresPerSocket) sit on socket 0, the next block
+	// on socket 1, and so on (wrapping past the last socket).
+	CoresPerSocket int
+	// QueueSocket maps input queue (chain) index to the socket owning
+	// its ring memory; indexes wrap when there are more chains than
+	// entries. Empty means queue i is owned by SocketOf(i) — queues
+	// spread across sockets in step with the default core layout.
+	QueueSocket []int
+}
+
+// Flat reports whether the topology carries no socket structure.
+func (t Topology) Flat() bool { return t.Sockets <= 1 }
+
+// SocketOf maps a schedule core index to its socket.
+func (t Topology) SocketOf(core int) int {
+	if t.Sockets <= 1 || t.CoresPerSocket <= 0 || core < 0 {
+		return 0
+	}
+	return (core / t.CoresPerSocket) % t.Sockets
+}
+
+// QueueSocketOf maps an input queue (chain) index to the socket owning
+// its ring memory.
+func (t Topology) QueueSocketOf(queue int) int {
+	if queue < 0 {
+		return 0
+	}
+	if len(t.QueueSocket) > 0 {
+		return t.QueueSocket[queue%len(t.QueueSocket)]
+	}
+	return t.SocketOf(queue)
+}
+
+// Validate rejects malformed topologies with a descriptive error.
+func (t Topology) Validate() error {
+	if t.Sockets < 0 {
+		return fmt.Errorf("click: Topology.Sockets must be non-negative, got %d", t.Sockets)
+	}
+	if t.CoresPerSocket < 0 {
+		return fmt.Errorf("click: Topology.CoresPerSocket must be non-negative, got %d", t.CoresPerSocket)
+	}
+	if t.Sockets > 1 && t.CoresPerSocket == 0 {
+		return fmt.Errorf("click: Topology with %d sockets needs CoresPerSocket", t.Sockets)
+	}
+	// A flat topology (Sockets 0 or 1) has exactly one socket for
+	// queues to live on; an out-of-range entry would make the model
+	// charge phantom cross-socket premiums no core can ever satisfy.
+	sockets := t.Sockets
+	if sockets <= 0 {
+		sockets = 1
+	}
+	for i, s := range t.QueueSocket {
+		if s < 0 || s >= sockets {
+			return fmt.Errorf("click: Topology.QueueSocket[%d] = %d out of range (%d sockets)", i, s, sockets)
+		}
+	}
+	return nil
+}
+
+// String renders the layout ("flat" or "2 sockets x 4 cores").
+func (t Topology) String() string {
+	if t.Flat() {
+		return "flat"
+	}
+	return fmt.Sprintf("%d sockets x %d cores", t.Sockets, t.CoresPerSocket)
+}
+
+// DetectTopology inspects the host's CPU layout (Linux sysfs) and
+// returns a Topology for it; on any other platform, or when sysfs is
+// unreadable, it falls back to a flat topology over every CPU. Queue
+// affinity is left empty (queues co-located with their default cores),
+// since the detector cannot know where the caller's NIC queues live.
+func DetectTopology() Topology {
+	flat := Topology{Sockets: 1, CoresPerSocket: runtime.NumCPU()}
+	entries, err := os.ReadDir("/sys/devices/system/cpu")
+	if err != nil {
+		return flat
+	}
+	perSocket := map[int]int{}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "cpu") {
+			continue
+		}
+		if _, err := strconv.Atoi(name[3:]); err != nil {
+			continue // cpufreq, cpuidle, ...
+		}
+		raw, err := os.ReadFile("/sys/devices/system/cpu/" + name + "/topology/physical_package_id")
+		if err != nil {
+			continue
+		}
+		pkg, err := strconv.Atoi(strings.TrimSpace(string(raw)))
+		if err != nil || pkg < 0 {
+			continue
+		}
+		perSocket[pkg]++
+	}
+	if len(perSocket) <= 1 {
+		return flat
+	}
+	// Use the smallest per-socket count so SocketOf never promises more
+	// local cores than the tightest socket has.
+	cores := -1
+	for _, n := range perSocket {
+		if cores < 0 || n < cores {
+			cores = n
+		}
+	}
+	return Topology{Sockets: len(perSocket), CoresPerSocket: cores}
+}
+
+// CostModel prices placement decisions in virtual CPU cycles per
+// packet. NewPlan consults it to assign chains to cores, and the Auto
+// calibration charges every observed ring crossing at its price — the
+// pluggable replacement for the flat 120-cycles-per-handoff constant.
+type CostModel interface {
+	// HandoffCost is the per-packet cost of moving a packet through a
+	// handoff ring from schedule core from to core to.
+	HandoffCost(from, to int) float64
+	// InputCost is the extra per-packet cost for core to poll an input
+	// queue owned by queueSocket (0 when the queue is socket-local).
+	InputCost(core, queueSocket int) float64
+	// Describe names the model and its terms for decision records.
+	Describe() string
+}
+
+const (
+	// DefaultHandoffCycles is the handoff price used when no measurement
+	// is available — the historical modeled cost of the inter-core
+	// cache-line transfers one ring crossing implies (§4.2).
+	DefaultHandoffCycles = 120
+	// DefaultCrossSocketFactor multiplies a handoff that crosses a
+	// socket boundary: the transfer rides the inter-socket link and the
+	// remote memory controller instead of a shared L3 (§5's memory-bus
+	// bound makes this the expensive direction).
+	DefaultCrossSocketFactor = 3.0
+)
+
+// BusCostModel is the default cost model: a flat per-packet handoff
+// price (measured by exec.MeasureHandoff at load time, or
+// DefaultHandoffCycles), multiplied when the crossing spans sockets,
+// plus a remote-polling surcharge for chains that could not be pinned
+// to their input queue's socket.
+type BusCostModel struct {
+	Topo Topology
+	// HandoffCycles is the same-socket per-packet ring-crossing price.
+	HandoffCycles float64
+	// CrossSocketFactor scales crossings whose endpoints sit on
+	// different sockets.
+	CrossSocketFactor float64
+}
+
+// NewBusCostModel builds the default model; handoffCycles <= 0 selects
+// DefaultHandoffCycles.
+func NewBusCostModel(topo Topology, handoffCycles float64) *BusCostModel {
+	if handoffCycles <= 0 {
+		handoffCycles = DefaultHandoffCycles
+	}
+	return &BusCostModel{Topo: topo, HandoffCycles: handoffCycles, CrossSocketFactor: DefaultCrossSocketFactor}
+}
+
+// terms normalizes the model's pricing: literal construction (zero
+// fields) gets the same defaults NewBusCostModel applies, so a partial
+// &BusCostModel{HandoffCycles: 200} can never invert the cross-socket
+// premium or price remote polling negative.
+func (m *BusCostModel) terms() (cycles, factor float64) {
+	cycles, factor = m.HandoffCycles, m.CrossSocketFactor
+	if cycles <= 0 {
+		cycles = DefaultHandoffCycles
+	}
+	if factor <= 0 {
+		factor = DefaultCrossSocketFactor
+	}
+	return cycles, factor
+}
+
+// HandoffCost prices one ring crossing between two schedule cores.
+func (m *BusCostModel) HandoffCost(from, to int) float64 {
+	cycles, factor := m.terms()
+	if m.Topo.SocketOf(from) != m.Topo.SocketOf(to) {
+		return cycles * factor
+	}
+	return cycles
+}
+
+// InputCost prices polling an input queue from a core: free when the
+// core sits on the queue's socket, otherwise the cross-socket premium
+// (the packet still crosses the inter-socket link, just on the poll
+// side instead of a handoff ring).
+func (m *BusCostModel) InputCost(core, queueSocket int) float64 {
+	if m.Topo.SocketOf(core) == queueSocket {
+		return 0
+	}
+	cycles, factor := m.terms()
+	return cycles * (factor - 1)
+}
+
+// Describe renders the model terms for Decision strings.
+func (m *BusCostModel) Describe() string {
+	cycles, factor := m.terms()
+	if m.Topo.Flat() {
+		return fmt.Sprintf("bus model: %.0f cycles/handoff, flat topology", cycles)
+	}
+	return fmt.Sprintf("bus model: %.0f cycles/handoff, x%.1f cross-socket, %s",
+		cycles, factor, m.Topo)
+}

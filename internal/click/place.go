@@ -117,6 +117,14 @@ type PlanConfig struct {
 	// (ToDevice, Discard, prebound sinks) or its trunk output is dropped
 	// silently.
 	Sink func(chain int) Element
+
+	// Topo describes the socket layout the plan's cores and input
+	// queues live on. The zero value is a flat single-socket host,
+	// which reproduces the pre-topology core layout exactly.
+	Topo Topology
+	// Cost prices placement decisions (core assignment and handoff
+	// boundaries); nil uses NewBusCostModel(Topo, 0).
+	Cost CostModel
 }
 
 // CoreStat is the per-core counter block of a running plan. The fields
@@ -124,6 +132,7 @@ type PlanConfig struct {
 // observers read.
 type CoreStat struct {
 	Core   int    // schedule core index
+	Socket int    // socket the core sits on (0 for flat topologies)
 	Chain  int    // which pipeline replica this core serves
 	Stages string // trunk segment names executing on this core, "+"-joined
 
@@ -154,10 +163,15 @@ type Plan struct {
 	chains int
 	sched  *Schedule
 	runner *Runner
+	topo   Topology
+	cost   CostModel
 
 	inputs       []*exec.Ring // one per chain; callers feed these
+	inputCore    []int        // first core of each chain (polls the input ring)
 	handoffs     []*exec.Ring // pipelined only: all inter-stage rings
 	handoffChain []int        // chain owning each handoff ring
+	handoffFrom  []int        // producer core of each handoff ring
+	handoffTo    []int        // consumer core of each handoff ring
 	stats        []*CoreStat
 	instances    []*Instance // one per chain, in chain order
 	// lost counts packets the plan itself recycled because a handoff
@@ -201,6 +215,12 @@ func NewPlan(cfg PlanConfig) (*Plan, error) {
 	if cfg.HandoffCap <= 0 {
 		cfg.HandoffCap = 1024
 	}
+	if err := cfg.Topo.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Cost == nil {
+		cfg.Cost = NewBusCostModel(cfg.Topo, 0)
+	}
 
 	// Chain 0's instance reveals the graph geometry (segment count, cut
 	// constraints); every further chain must match it.
@@ -209,7 +229,8 @@ func NewPlan(cfg PlanConfig) (*Plan, error) {
 		return nil, err
 	}
 
-	p := &Plan{kind: cfg.Kind, cores: cfg.Cores, sched: NewSchedule(cfg.Cores)}
+	p := &Plan{kind: cfg.Kind, cores: cfg.Cores, sched: NewSchedule(cfg.Cores),
+		topo: cfg.Topo, cost: cfg.Cost}
 	instance := func(chain int) (*Instance, error) {
 		if chain == 0 {
 			return first, nil
@@ -233,6 +254,7 @@ func NewPlan(cfg PlanConfig) (*Plan, error) {
 		}
 		return in, nil
 	}
+	asn := newCoreAssigner(cfg.Cores, cfg.Topo, cfg.Cost)
 	switch cfg.Kind {
 	case Parallel:
 		p.chains = cfg.Cores
@@ -241,7 +263,7 @@ func NewPlan(cfg PlanConfig) (*Plan, error) {
 			if err != nil {
 				return nil, err
 			}
-			if err := p.buildChain(cfg, c, []int{c}, in); err != nil {
+			if err := p.buildChain(cfg, c, asn.take(c, 1), in); err != nil {
 				return nil, err
 			}
 		}
@@ -253,17 +275,56 @@ func NewPlan(cfg PlanConfig) (*Plan, error) {
 			if err != nil {
 				return nil, err
 			}
-			coreSet := make([]int, groups)
-			for g := range coreSet {
-				coreSet[g] = ch*groups + g
-			}
-			if err := p.buildChain(cfg, ch, coreSet, in); err != nil {
+			if err := p.buildChain(cfg, ch, asn.take(ch, groups), in); err != nil {
 				return nil, err
 			}
 		}
 	}
 	p.runner = NewRunner(p.sched)
 	return p, nil
+}
+
+// coreAssigner hands out schedule cores chain by chain, consulting the
+// cost model: a chain's first core is the free core with the cheapest
+// access to the chain's input queue (so parallel chains pin to the
+// socket owning their input ring), and each further core of a pipelined
+// chain is the free core with the cheapest handoff from its
+// predecessor. Ties break to the lowest core index, which reproduces
+// the flat pre-topology layout exactly (parallel chain c on core c,
+// pipelined chain ch on cores [ch*groups, (ch+1)*groups)).
+type coreAssigner struct {
+	used []bool
+	topo Topology
+	cost CostModel
+}
+
+func newCoreAssigner(cores int, topo Topology, cost CostModel) *coreAssigner {
+	return &coreAssigner{used: make([]bool, cores), topo: topo, cost: cost}
+}
+
+// take allocates n cores for the given chain.
+func (a *coreAssigner) take(chain, n int) []int {
+	pick := func(costOf func(core int) float64) int {
+		best, bestCost := -1, 0.0
+		for c := range a.used {
+			if a.used[c] {
+				continue
+			}
+			if cc := costOf(c); best < 0 || cc < bestCost {
+				best, bestCost = c, cc
+			}
+		}
+		a.used[best] = true
+		return best
+	}
+	qsock := a.topo.QueueSocketOf(chain)
+	out := make([]int, 1, n)
+	out[0] = pick(func(c int) float64 { return a.cost.InputCost(c, qsock) })
+	for len(out) < n {
+		prev := out[len(out)-1]
+		out = append(out, pick(func(c int) float64 { return a.cost.HandoffCost(prev, c) }))
+	}
+	return out
 }
 
 // buildChain materializes one pipeline replica across the given cores:
@@ -275,6 +336,7 @@ func NewPlan(cfg PlanConfig) (*Plan, error) {
 func (p *Plan) buildChain(cfg PlanConfig, chain int, cores []int, in *Instance) error {
 	input := exec.NewRing(cfg.InputCap)
 	p.inputs = append(p.inputs, input)
+	p.inputCore = append(p.inputCore, cores[0])
 	p.instances = append(p.instances, in)
 
 	groups := len(cores)
@@ -290,6 +352,8 @@ func (p *Plan) buildChain(cfg PlanConfig, chain int, cores []int, in *Instance) 
 			downstream = exec.NewRing(cfg.HandoffCap)
 			p.handoffs = append(p.handoffs, downstream)
 			p.handoffChain = append(p.handoffChain, chain)
+			p.handoffFrom = append(p.handoffFrom, cores[g])
+			p.handoffTo = append(p.handoffTo, cores[g+1])
 			if err := p.wireRing(last, downstream); err != nil {
 				return fmt.Errorf("click: segment %q: %w", in.names[hi-1], err)
 			}
@@ -306,7 +370,8 @@ func (p *Plan) buildChain(cfg PlanConfig, chain int, cores []int, in *Instance) 
 			}
 		}
 
-		stat := &CoreStat{Core: cores[g], Chain: chain, Stages: strings.Join(in.names[lo:hi], "+")}
+		stat := &CoreStat{Core: cores[g], Socket: cfg.Topo.SocketOf(cores[g]),
+			Chain: chain, Stages: strings.Join(in.names[lo:hi], "+")}
 		p.stats = append(p.stats, stat)
 		p.sched.MustBind(cores[g], pollTask(upstream, downstream, in.segs[lo].Entry, cfg.KP, stat))
 		upstream = downstream
@@ -407,27 +472,43 @@ func (p *Plan) Input(i int) *exec.Ring { return p.inputs[i] }
 // Inputs returns all input rings, one per chain.
 func (p *Plan) Inputs() []*exec.Ring { return p.inputs }
 
-// PlanRing describes one of a plan's rings for observability and
-// teardown: Role is "input" (caller-fed, one per chain) or "handoff"
-// (inter-stage, pipelined only); Chain is the replica it belongs to.
+// PlanRing describes one of a plan's rings for observability, scoring,
+// and teardown: Role is "input" (caller-fed, one per chain) or
+// "handoff" (inter-stage, pipelined only); Chain is the replica it
+// belongs to. From/To are the producer and consumer schedule cores —
+// From is -1 for input rings (the producer is the external feeder) —
+// and Cost is the cost model's per-packet price for the crossing.
 type PlanRing struct {
 	Role  string
 	Chain int
+	From  int
+	To    int
+	Cost  float64
 	Ring  *exec.Ring
 }
 
 // Rings lists every ring the plan owns, inputs first, in chain order —
-// the walk a stats snapshot or a drain barrier makes.
+// the walk a stats snapshot, a calibration scorer, or a drain barrier
+// makes.
 func (p *Plan) Rings() []PlanRing {
 	out := make([]PlanRing, 0, len(p.inputs)+len(p.handoffs))
 	for i, r := range p.inputs {
-		out = append(out, PlanRing{Role: "input", Chain: i, Ring: r})
+		out = append(out, PlanRing{Role: "input", Chain: i, From: -1, To: p.inputCore[i],
+			Cost: p.cost.InputCost(p.inputCore[i], p.topo.QueueSocketOf(i)), Ring: r})
 	}
 	for i, r := range p.handoffs {
-		out = append(out, PlanRing{Role: "handoff", Chain: p.handoffChain[i], Ring: r})
+		out = append(out, PlanRing{Role: "handoff", Chain: p.handoffChain[i],
+			From: p.handoffFrom[i], To: p.handoffTo[i],
+			Cost: p.cost.HandoffCost(p.handoffFrom[i], p.handoffTo[i]), Ring: r})
 	}
 	return out
 }
+
+// Topology reports the socket layout the plan was placed against.
+func (p *Plan) Topology() Topology { return p.topo }
+
+// Cost reports the cost model the placement consulted.
+func (p *Plan) Cost() CostModel { return p.cost }
 
 // Instance returns chain i's materialized graph copy.
 func (p *Plan) Instance(i int) *Instance { return p.instances[i] }
@@ -494,14 +575,29 @@ func (p *Plan) RunStep(core int, ctx *Context) int { return p.sched.RunStep(core
 // Schedule exposes the underlying static core schedule.
 func (p *Plan) Schedule() *Schedule { return p.sched }
 
-// Describe renders the placement map: which stages run on which core,
-// and where the handoff rings sit.
+// Describe renders the placement map: which stages run on which core
+// (and socket, when the topology has more than one), where the handoff
+// rings sit and what the cost model charges each of them.
 func (p *Plan) Describe() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s plan: %d cores, %d chains, %d handoff rings\n",
 		p.kind, p.cores, p.chains, len(p.handoffs))
 	for _, s := range p.stats {
-		fmt.Fprintf(&b, "  core %d: chain %d, stages %s\n", s.Core, s.Chain, s.Stages)
+		if p.topo.Flat() {
+			fmt.Fprintf(&b, "  core %d: chain %d, stages %s\n", s.Core, s.Chain, s.Stages)
+		} else {
+			fmt.Fprintf(&b, "  core %d (socket %d): chain %d, stages %s\n", s.Core, s.Socket, s.Chain, s.Stages)
+		}
 	}
+	for i := range p.handoffs {
+		from, to := p.handoffFrom[i], p.handoffTo[i]
+		cross := ""
+		if p.topo.SocketOf(from) != p.topo.SocketOf(to) {
+			cross = ", cross-socket"
+		}
+		fmt.Fprintf(&b, "  handoff %d: chain %d, core %d -> core %d (%.0f cycles/pkt%s)\n",
+			i, p.handoffChain[i], from, to, p.cost.HandoffCost(from, to), cross)
+	}
+	fmt.Fprintf(&b, "  cost model: %s\n", p.cost.Describe())
 	return b.String()
 }

@@ -1,0 +1,60 @@
+package exec
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMeasureHandoffFixedClock pins the arithmetic with a stubbed
+// clock: the ping-pong still runs for real, but the elapsed time is
+// fixed, so the reported cycles are exactly elapsed * Hz / (2 * total).
+func TestMeasureHandoffFixedClock(t *testing.T) {
+	base := time.Unix(0, 0)
+	calls := 0
+	cfg := MeasureConfig{
+		Packets: 4,
+		Rounds:  2,
+		ClockHz: 1e9, // 1 cycle per nanosecond
+		now: func() time.Time {
+			calls++
+			if calls == 1 {
+				return base
+			}
+			return base.Add(8 * time.Microsecond)
+		},
+	}
+	got := MeasureHandoff(cfg)
+	// 8000 ns * 1 cycle/ns over 2 crossings * 2 rounds * 4 packets.
+	want := 8000.0 / 16.0
+	if got != want {
+		t.Fatalf("MeasureHandoff = %v cycles, want %v", got, want)
+	}
+	if calls != 2 {
+		t.Fatalf("clock read %d times, want 2 (start + end)", calls)
+	}
+}
+
+// TestMeasureHandoffClamps proves a too-fast (or broken) clock can
+// never report a free handoff — the model needs a positive price.
+func TestMeasureHandoffClamps(t *testing.T) {
+	base := time.Unix(0, 0)
+	got := MeasureHandoff(MeasureConfig{
+		Packets: 2,
+		Rounds:  1,
+		ClockHz: 1, // 1 Hz: elapsed cycles round to ~0
+		now:     func() time.Time { return base },
+	})
+	if got != 1 {
+		t.Fatalf("MeasureHandoff = %v, want clamp to 1", got)
+	}
+}
+
+// TestMeasureHandoffReal smoke-tests a real measurement: defaults,
+// wall clock, and a sane positive result.
+func TestMeasureHandoffReal(t *testing.T) {
+	got := MeasureHandoff(MeasureConfig{Rounds: 64})
+	if got < 1 || got > 1e7 {
+		t.Fatalf("measured handoff cost %v cycles is not plausible", got)
+	}
+	t.Logf("measured handoff cost: %.0f cycles/pkt", got)
+}

@@ -8,9 +8,12 @@ package stats
 // facade fills them from a live plan; nothing here touches the
 // datapath.
 
-// CoreSnapshot is one core's counter block at snapshot time.
+// CoreSnapshot is one core's counter block at snapshot time. Socket is
+// the CPU socket the placement assigned the core to (0 on flat
+// topologies).
 type CoreSnapshot struct {
 	Core     int    `json:"core"`
+	Socket   int    `json:"socket"`
 	Chain    int    `json:"chain"`
 	Stages   string `json:"stages"`
 	Packets  uint64 `json:"packets"`
@@ -21,13 +24,18 @@ type CoreSnapshot struct {
 
 // RingSnapshot is one ring's state: Role is "input" (caller-fed) or
 // "handoff" (inter-stage); Len/Cap are occupancy gauges, Rejected the
-// monotonic backpressure counter.
+// monotonic backpressure counter. FromCore/ToCore are the producer and
+// consumer cores (-1 for an input ring's external producer) and Cost
+// the placement cost model's per-packet price for the crossing.
 type RingSnapshot struct {
-	Role     string `json:"role"`
-	Chain    int    `json:"chain"`
-	Len      int    `json:"len"`
-	Cap      int    `json:"cap"`
-	Rejected uint64 `json:"rejected"`
+	Role     string  `json:"role"`
+	Chain    int     `json:"chain"`
+	FromCore int     `json:"from_core"`
+	ToCore   int     `json:"to_core"`
+	Cost     float64 `json:"cost,omitempty"`
+	Len      int     `json:"len"`
+	Cap      int     `json:"cap"`
+	Rejected uint64  `json:"rejected"`
 }
 
 // ElementSnapshot carries one graph element's exported counters
@@ -57,9 +65,39 @@ type Snapshot struct {
 	Drops    uint64 `json:"drops"`
 	Rejected uint64 `json:"rejected"`
 
+	// Imbalance is the per-core load-skew ratio (see ImbalanceRatio):
+	// cumulative for a plain Snapshot, per-interval after Delta — the
+	// one number the replan controller and operators watch.
+	Imbalance float64 `json:"imbalance"`
+
 	CoreStats []CoreSnapshot    `json:"core_stats"`
 	Rings     []RingSnapshot    `json:"rings"`
 	Elements  []ElementSnapshot `json:"elements,omitempty"`
+}
+
+// ImbalanceRatio reduces the per-core packet counters to one skew
+// number: the busiest core's packets over the all-core mean. 1.0 is a
+// perfectly balanced plan, Cores is the worst case (all traffic on one
+// core), and 0 means no traffic at all (no evidence of skew). The
+// Imbalance field caches this value; Delta recomputes it over the
+// interval's increments, which is the form a controller should watch —
+// cumulative ratios go stale as history accumulates.
+func (s Snapshot) ImbalanceRatio() float64 {
+	if len(s.CoreStats) == 0 {
+		return 0
+	}
+	var total, max uint64
+	for _, c := range s.CoreStats {
+		total += c.Packets
+		if c.Packets > max {
+			max = c.Packets
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(s.CoreStats))
+	return float64(max) / mean
 }
 
 // TotalPackets sums packets pulled across all cores — each packet
@@ -82,6 +120,7 @@ func (s Snapshot) TotalPackets() uint64 {
 // Generation themselves.
 func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	if s.Plan != prev.Plan || s.Generation != prev.Generation {
+		s.Imbalance = s.ImbalanceRatio()
 		return s
 	}
 	out := s
@@ -132,6 +171,7 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 		e.Counters = counters
 		out.Elements[i] = e
 	}
+	out.Imbalance = out.ImbalanceRatio()
 	return out
 }
 

@@ -67,6 +67,43 @@ func TestSnapshotDeltaGenerationBoundary(t *testing.T) {
 	}
 }
 
+func TestImbalanceRatio(t *testing.T) {
+	s := Snapshot{CoreStats: []CoreSnapshot{
+		{Core: 0, Packets: 300},
+		{Core: 1, Packets: 100},
+	}}
+	// max 300 over mean 200.
+	if got := s.ImbalanceRatio(); got != 1.5 {
+		t.Errorf("ImbalanceRatio = %v, want 1.5", got)
+	}
+	if got := (Snapshot{}).ImbalanceRatio(); got != 0 {
+		t.Errorf("empty snapshot imbalance = %v, want 0", got)
+	}
+	idle := Snapshot{CoreStats: []CoreSnapshot{{Core: 0}, {Core: 1}}}
+	if got := idle.ImbalanceRatio(); got != 0 {
+		t.Errorf("idle snapshot imbalance = %v, want 0", got)
+	}
+}
+
+// TestDeltaImbalance proves Delta exposes the interval's skew, not the
+// cumulative one: a history-balanced pipeline whose latest interval
+// sent everything to core 0 must read as fully imbalanced.
+func TestDeltaImbalance(t *testing.T) {
+	prev := sampleSnapshot(4, 1000, 10)
+	cur := sampleSnapshot(4, 1000, 10)
+	cur.CoreStats[0].Packets = 1600 // +600 on core 0, +0 on core 1
+	d := cur.Delta(prev)
+	if d.Imbalance != 2 {
+		t.Errorf("interval imbalance = %v, want 2 (all growth on one of two cores)", d.Imbalance)
+	}
+	// Across a generation boundary the new snapshot's own (cumulative)
+	// ratio is reported.
+	gen := sampleSnapshot(5, 200, 0)
+	if got := gen.Delta(prev).Imbalance; got != gen.ImbalanceRatio() {
+		t.Errorf("generation-boundary imbalance = %v, want %v", got, gen.ImbalanceRatio())
+	}
+}
+
 func TestSnapshotDeltaSaturates(t *testing.T) {
 	prev := sampleSnapshot(4, 1000, 10)
 	cur := sampleSnapshot(4, 500, 3) // impossible within a generation; clamp

@@ -5,10 +5,19 @@
 // parallel-vs-pipelined Mpps sweep next to the calibration scores that
 // drive the Auto decision.
 //
+// The calibration sweep runs with pinned cost-model inputs (handoff
+// cycles, topology) — recorded per entry under "inputs" — so decisions
+// are reproducible across machines. With -baseline, the tool compares
+// the new sweep against a previous JSON file and fails when Auto's
+// decided placement changed for an entry whose inputs did not — the
+// decision-diff smoke CI runs on every PR: a scoring change that flips
+// a placement must show up as a reviewed BENCH_placement.json update,
+// never silently.
+//
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkPlacement -benchmem . > out.txt
-//	go run ./internal/tools/benchjson -bench out.txt -out BENCH_placement.json
+//	go run ./internal/tools/benchjson -bench out.txt -baseline BENCH_placement.json -out BENCH_placement.json
 package main
 
 import (
@@ -22,6 +31,7 @@ import (
 	"strings"
 
 	"routebricks"
+	"routebricks/internal/click"
 	"routebricks/internal/elements"
 	"routebricks/internal/lpm"
 	"routebricks/internal/pkt"
@@ -34,9 +44,21 @@ type benchResult struct {
 	Metrics    map[string]float64 `json:"metrics"`
 }
 
-// calResult is one Placement: Auto run at a given core count.
+// modelInputs pins every cost-model input a calibration decision
+// depends on. Two entries with equal inputs must decide the same
+// placement on any machine — the invariant the -baseline check
+// enforces.
+type modelInputs struct {
+	Cores             int     `json:"cores"`
+	HandoffCycles     float64 `json:"handoff_cycles"`
+	CrossSocketFactor float64 `json:"cross_socket_factor"`
+	Sockets           int     `json:"sockets"`
+	CoresPerSocket    int     `json:"cores_per_socket"`
+}
+
+// calResult is one Placement: Auto run under pinned model inputs.
 type calResult struct {
-	Cores      int                             `json:"cores"`
+	Inputs     modelInputs                     `json:"inputs"`
 	Picked     string                          `json:"picked"`
 	Decision   string                          `json:"decision"`
 	Candidates []routebricks.CalibrationResult `json:"candidates"`
@@ -95,18 +117,22 @@ const placementConfig = `
 	ttl[1]   -> badttl;
 `
 
-// calibrate runs Placement: Auto over the benchmark workload at the
-// given core count and reports the decision and candidate scores.
-func calibrate(cores int) (calResult, error) {
+// calibrate runs Placement: Auto over the benchmark workload under the
+// given pinned model inputs and reports the decision and candidate
+// scores.
+func calibrate(in modelInputs) (calResult, error) {
 	table := lpm.NewDir248()
 	if err := table.Insert(netip.MustParsePrefix("10.0.0.0/16"), 1); err != nil {
 		return calResult{}, err
 	}
 	table.Freeze()
 	sink := func() routebricks.Element { return &elements.Sink{Recycle: pkt.DefaultPool} }
+	topo := routebricks.Topology{Sockets: in.Sockets, CoresPerSocket: in.CoresPerSocket}
 	pipe, err := routebricks.Load(placementConfig, routebricks.Options{
-		Cores:     cores,
-		Placement: routebricks.Auto,
+		Cores:         in.Cores,
+		Placement:     routebricks.Auto,
+		Topology:      &topo,
+		HandoffCycles: in.HandoffCycles,
 		Prebound: func(int) map[string]routebricks.Element {
 			return map[string]routebricks.Element{
 				"fib":      elements.NewLPMLookup(table),
@@ -125,16 +151,72 @@ func calibrate(cores int) (calResult, error) {
 		decision = s.Decision
 	}
 	return calResult{
-		Cores:      cores,
+		Inputs:     in,
 		Picked:     pipe.Placement().String(),
 		Decision:   decision,
 		Candidates: pipe.Calibration(),
 	}, nil
 }
 
+// sweepInputs is the pinned calibration grid: each core count on a
+// flat topology and — where the cores split — on a two-socket one, so
+// the trajectory records both the same-socket and the cross-socket
+// decision. HandoffCycles is pinned to the model's default rather than
+// measured, precisely so the recorded decisions are comparable across
+// machines.
+func sweepInputs() []modelInputs {
+	var out []modelInputs
+	for _, cores := range []int{1, 2, 4, 8} {
+		out = append(out, modelInputs{
+			Cores:             cores,
+			HandoffCycles:     click.DefaultHandoffCycles,
+			CrossSocketFactor: click.DefaultCrossSocketFactor,
+			Sockets:           1,
+		})
+		if cores >= 2 {
+			out = append(out, modelInputs{
+				Cores:             cores,
+				HandoffCycles:     click.DefaultHandoffCycles,
+				CrossSocketFactor: click.DefaultCrossSocketFactor,
+				Sockets:           2,
+				CoresPerSocket:    cores / 2,
+			})
+		}
+	}
+	return out
+}
+
+// checkBaseline fails when a decision changed while its inputs did
+// not. Entries the baseline has no matching inputs for (a new grid
+// point, or a pre-inputs file) are skipped.
+func checkBaseline(path string, cur []calResult) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil // no baseline yet: nothing to diff against
+	}
+	var base output
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline %s: %w", path, err)
+	}
+	prev := make(map[modelInputs]string, len(base.Calibration))
+	for _, c := range base.Calibration {
+		if c.Inputs != (modelInputs{}) {
+			prev[c.Inputs] = c.Picked
+		}
+	}
+	for _, c := range cur {
+		if was, ok := prev[c.Inputs]; ok && was != c.Picked {
+			return fmt.Errorf("placement decision changed for inputs %+v: %s -> %s with unchanged cost-model inputs (if intentional, commit the regenerated %s)",
+				c.Inputs, was, c.Picked, path)
+		}
+	}
+	return nil
+}
+
 func run() error {
 	benchPath := flag.String("bench", "", "go test -bench output to parse")
 	outPath := flag.String("out", "BENCH_placement.json", "JSON file to write")
+	basePath := flag.String("baseline", "", "previous JSON to diff decisions against (fails on a decision change with unchanged inputs)")
 	flag.Parse()
 
 	var doc output
@@ -145,19 +227,30 @@ func run() error {
 		}
 		doc.Benchmarks = b
 	}
-	for _, cores := range []int{1, 2, 4, 8} {
-		c, err := calibrate(cores)
+	for _, in := range sweepInputs() {
+		c, err := calibrate(in)
 		if err != nil {
-			return fmt.Errorf("calibrate %d cores: %w", cores, err)
+			return fmt.Errorf("calibrate %+v: %w", in, err)
 		}
 		doc.Calibration = append(doc.Calibration, c)
+	}
+	// Diff before overwriting (the baseline is usually the same file),
+	// but always write the regenerated document: a flagged decision
+	// change still fails the run, and the written file is exactly what
+	// the operator reviews and commits to accept it.
+	diffErr := error(nil)
+	if *basePath != "" {
+		diffErr = checkBaseline(*basePath, doc.Calibration)
 	}
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
 	raw = append(raw, '\n')
-	return os.WriteFile(*outPath, raw, 0o644)
+	if err := os.WriteFile(*outPath, raw, 0o644); err != nil {
+		return err
+	}
+	return diffErr
 }
 
 func main() {

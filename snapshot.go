@@ -36,6 +36,7 @@ func (p *Pipeline) Snapshot() Snapshot {
 	for _, cs := range plan.Stats() {
 		s.CoreStats = append(s.CoreStats, stats.CoreSnapshot{
 			Core:     cs.Core,
+			Socket:   cs.Socket,
 			Chain:    cs.Chain,
 			Stages:   cs.Stages,
 			Packets:  cs.Packets(),
@@ -44,10 +45,14 @@ func (p *Pipeline) Snapshot() Snapshot {
 			Handoffs: cs.Handoffs(),
 		})
 	}
+	s.Imbalance = s.ImbalanceRatio()
 	for _, pr := range plan.Rings() {
 		s.Rings = append(s.Rings, stats.RingSnapshot{
 			Role:     pr.Role,
 			Chain:    pr.Chain,
+			FromCore: pr.From,
+			ToCore:   pr.To,
+			Cost:     pr.Cost,
 			Len:      pr.Ring.Len(),
 			Cap:      pr.Ring.Cap(),
 			Rejected: pr.Ring.Rejected(),
