@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -380,7 +381,13 @@ func BenchmarkPlacement(b *testing.B) {
 
 func runPlacement(b *testing.B, kind click.PlanKind, cores int) {
 	const kp = 32
-	const workset = 512 // in-flight packets per chain
+	// workset is the fleet-wide in-flight packet count. It deliberately
+	// does NOT scale with cores: the buffer working set is what a real
+	// router's fixed pool would be, so adding cores cannot silently
+	// inflate cache pressure per packet. The gather-anywhere feeder
+	// below redistributes the fixed workset across however many chains
+	// the plan has.
+	const workset = 512
 	table := lpm.NewDir248()
 	if err := table.Insert(netip.MustParsePrefix("10.0.0.0/16"), 1); err != nil {
 		b.Fatal(err)
@@ -393,6 +400,11 @@ func runPlacement(b *testing.B, kind click.PlanKind, cores int) {
 		Cores:     cores,
 		Placement: kind,
 		KP:        kp,
+		// Idle cores drain overloaded siblings: on an oversubscribed host
+		// (GOMAXPROCS < cores) this is what keeps adding cores from
+		// reducing throughput — whichever worker the scheduler runs next
+		// finds work, whether or not it is the worker the feeder targeted.
+		Steal: true,
 		Prebound: func(chain int) map[string]Element {
 			// Error ports terminate in counting recycling sinks; they see
 			// no traffic in this loss-free loop, but a misroute must show
@@ -411,6 +423,9 @@ func runPlacement(b *testing.B, kind click.PlanKind, cores int) {
 			}
 		},
 		Sink: func(int) Element {
+			// A stolen packet is delivered by the stealer's sink, so any
+			// one free ring may transiently hold the entire workset —
+			// size each for the whole fleet.
 			s := &placementSink{free: exec.NewRing(workset), delivered: &delivered, lost: &lost}
 			frees = append(frees, s.free)
 			return s
@@ -422,51 +437,71 @@ func runPlacement(b *testing.B, kind click.PlanKind, cores int) {
 	plan := pipe.Plan()
 	src := netip.MustParseAddr("10.1.0.1")
 	dst := netip.MustParseAddr("10.0.0.2")
-	for chain := 0; chain < plan.Chains(); chain++ {
-		for j := 0; j < workset; j++ {
-			p := pkt.New(pkt.MinSize, src, dst, uint16(1000+j), 80)
-			p.IPv4().SetTTL(64)
-			p.IPv4().UpdateChecksum()
-			frees[chain].Push(p)
-		}
+	for j := 0; j < workset; j++ {
+		p := pkt.New(pkt.MinSize, src, dst, uint16(1000+j), 80)
+		p.IPv4().SetTTL(64)
+		p.IPv4().UpdateChecksum()
+		frees[j%len(frees)].Push(p)
 	}
 	if err := plan.Start(); err != nil {
 		b.Fatal(err)
 	}
-	scratch := pkt.NewBatch(kp)
+	// Feed in quanta much deeper than the workers' poll batch: a worker
+	// keeps draining without yielding while its ring is non-empty, so
+	// each feeder visit buys several uninterrupted worker steps instead
+	// of one — the scheduler switch is amortized over feedBatch packets,
+	// not kp. The workers still process kp at a time.
+	const feedBatch = 8 * kp
+	scratch := pkt.NewBatch(feedBatch)
 	b.ReportAllocs()
 	b.ResetTimer()
 	remaining := b.N
-	for chain := 0; remaining > 0; chain = (chain + 1) % plan.Chains() {
-		limit := kp
-		if remaining < limit {
-			limit = remaining
+	// Scatter without stalling: recycled buffers are gathered from
+	// whichever free rings hold them (work stealing means a packet fed
+	// into one chain may be delivered — and recycled — by another), then
+	// pushed to the target chain. A chain whose input ring is full is
+	// skipped, not waited on; the feeder yields the CPU only after a
+	// whole rotation moves nothing, so one slow chain costs one skip
+	// instead of a scheduler round trip. The feeder is the sole producer
+	// of every input ring and sole consumer of every free ring, so no
+	// cursor or ring is shared with another producer.
+	for idleChains := 0; remaining > 0; {
+		for chain := 0; chain < plan.Chains() && remaining > 0; chain++ {
+			limit := feedBatch
+			if remaining < limit {
+				limit = remaining
+			}
+			if room := plan.Input(chain).Free(); room < limit {
+				limit = room
+			}
+			if limit == 0 {
+				idleChains++
+				continue
+			}
+			scratch.Reset()
+			n := 0
+			for src := 0; src < len(frees) && n < limit; src++ {
+				n += frees[(chain+src)%len(frees)].PopBatchInto(scratch, limit-n)
+			}
+			if n == 0 {
+				idleChains++
+				continue
+			}
+			idleChains = 0
+			for _, p := range scratch.Packets() {
+				// The previous trip decremented the TTL; restore it so the
+				// packet is route-valid forever.
+				ih := p.IPv4()
+				ih.SetTTL(64)
+				ih.UpdateChecksum()
+			}
+			plan.Input(chain).PushBatch(scratch)
+			remaining -= n
 		}
-		// Both rings below belong to this goroutine (sole producer of the
-		// input, sole consumer of the free ring), so Free() is exact
-		// enough to make every push land.
-		if room := plan.Input(chain).Free(); room < limit {
-			limit = room
-		}
-		if limit == 0 {
+		if idleChains >= plan.Chains() {
+			idleChains = 0
 			runtime.Gosched()
-			continue
 		}
-		scratch.Reset()
-		n := frees[chain].PopBatchInto(scratch, limit)
-		if n == 0 {
-			runtime.Gosched()
-			continue
-		}
-		for _, p := range scratch.Packets() {
-			// The previous trip decremented the TTL; restore it so the
-			// packet is route-valid forever.
-			ih := p.IPv4()
-			ih.SetTTL(64)
-			ih.UpdateChecksum()
-		}
-		plan.Input(chain).PushBatch(scratch)
-		remaining -= n
 	}
 	for delivered.Load()+lost.Load() < uint64(b.N) {
 		runtime.Gosched()
@@ -477,6 +512,50 @@ func runPlacement(b *testing.B, kind click.PlanKind, cores int) {
 		b.Fatalf("%d packets lost in a loss-free benchmark", got)
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpps")
+}
+
+// BenchmarkPool measures the packet pool's allocation fast path under
+// contention: w goroutines each doing Get(64)+Put in a tight loop, one
+// op per round trip. "legacy" forces a single shard — every goroutine
+// funnels through one lock, the pre-sharding behavior. "sharded" gives
+// each goroutine its own shard handle, so the steady-state round trip
+// takes only the goroutine's own shard lock. The gap between the two
+// curves at 2/4/8 goroutines is the contention the sharding removes.
+func BenchmarkPool(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, mode := range []string{"legacy", "sharded"} {
+			b.Run(fmt.Sprintf("%s/goroutines=%d", mode, workers), func(b *testing.B) {
+				shards := 1
+				if mode == "sharded" {
+					shards = workers
+				}
+				pool := pkt.NewPoolShards(4096, shards)
+				var start, done sync.WaitGroup
+				start.Add(1)
+				done.Add(workers)
+				per := b.N / workers
+				b.ReportAllocs()
+				for w := 0; w < workers; w++ {
+					n := per
+					if w == 0 {
+						n += b.N % workers
+					}
+					shard := pool.Shard(w)
+					go func() {
+						defer done.Done()
+						start.Wait()
+						for i := 0; i < n; i++ {
+							p := shard.Get(64)
+							shard.Put(p)
+						}
+					}()
+				}
+				b.ResetTimer()
+				start.Done()
+				done.Wait()
+			})
+		}
+	}
 }
 
 // Single-server MaxRate microbenchmark: the whole bottleneck analysis is

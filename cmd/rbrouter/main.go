@@ -91,6 +91,11 @@ const defaultConfig = `
 
 func nowVirtual() sim.Time { return sim.Time(time.Now().UnixNano()) }
 
+// poolShardSeq deals pool shards out to the I/O goroutines (readers and
+// writers) round-robin, so no two long-lived goroutines share a shard
+// lock by accident. Datapath cores get their shards from the plan.
+var poolShardSeq atomic.Uint32
+
 // node is one cluster server backed by two UDP sockets: ext receives
 // line traffic and emits egress frames to the collector; int carries
 // mesh links to peers. Its datapath is a loaded Click pipeline for
@@ -155,6 +160,10 @@ func (q *txQueue) push(p *pkt.Packet) bool {
 // txStop is set.
 func (nd *node) runWriter(q *txQueue) {
 	defer nd.wwg.Done()
+	// Each writer goroutine recycles through its own pool shard: Put
+	// takes only that shard's lock, never a lock shared with the
+	// datapath cores or the other writers.
+	shard := pkt.DefaultPool.Shard(int(poolShardSeq.Add(1)))
 	batch := pkt.NewBatch(64)
 	idle := 0
 	for {
@@ -178,8 +187,8 @@ func (nd *node) runWriter(q *txQueue) {
 				continue
 			}
 			q.conn.WriteToUDP(p.Data, q.addr)
-			pkt.DefaultPool.Put(p)
 		}
+		shard.PutBatch(batch)
 		nd.txBatches.Add(1)
 	}
 }
@@ -270,7 +279,7 @@ func printPrebound(chain int) map[string]routebricks.Element {
 	}
 }
 
-func newNode(id, n int, table *lpm.Dir248, cfgText string, flowlets bool, cores int, kind click.PlanKind) (*node, error) {
+func newNode(id, n int, table *lpm.Dir248, cfgText string, flowlets bool, cores int, kind click.PlanKind, steal bool) (*node, error) {
 	ext, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
 		return nil, err
@@ -298,6 +307,7 @@ func newNode(id, n int, table *lpm.Dir248, cfgText string, flowlets bool, cores 
 		Placement: kind,
 		KP:        32,
 		InputCap:  4096,
+		Steal:     steal,
 		Prebound: func(chain int) map[string]routebricks.Element {
 			return nd.prebound(table, flowlets, chain)
 		},
@@ -383,6 +393,10 @@ func (t *udpTransit) Push(_ *click.Context, _ int, p *pkt.Packet) {
 // single-producer.
 func (nd *node) runReader(conn *net.UDPConn, chains int, push func(chain int, p *pkt.Packet) bool) {
 	defer nd.wg.Done()
+	// Each reader allocates from its own pool shard — the RSS role's
+	// half of the shared-nothing bargain: no allocation lock is ever
+	// contended between readers, writers, and datapath cores.
+	shard := pkt.DefaultPool.Shard(int(poolShardSeq.Add(1)))
 	buf := make([]byte, 2048)
 	for !nd.stop.Load() {
 		conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
@@ -393,12 +407,12 @@ func (nd *node) runReader(conn *net.UDPConn, chains int, push func(chain int, p 
 		if m < pkt.EtherHdrLen+pkt.IPv4HdrLen {
 			continue
 		}
-		p := pkt.DefaultPool.Get(m)
+		p := shard.Get(m)
 		copy(p.Data, buf[:m])
 		if !push(int(p.FlowHash()%uint64(chains)), p) {
 			// Receive ring overflow: the reader is the packet's last owner.
 			nd.rxDrops.Add(1)
-			pkt.DefaultPool.Put(p)
+			shard.Put(p)
 		}
 	}
 }
@@ -478,6 +492,7 @@ func run() error {
 		printGraph = flag.Bool("print-graph", false, "print the ingress element graph as Graphviz dot and exit")
 		pcapPath   = flag.String("pcap", "", "capture egress traffic to this pcap file")
 		statsAddr  = flag.String("stats-addr", "", "serve the cluster stats snapshot as JSON on this HTTP address (GET /stats)")
+		steal      = flag.Bool("steal", false, "let idle datapath cores steal batches from overloaded siblings' input rings (trades flow affinity for utilization)")
 	)
 	flag.Parse()
 	cfgText := defaultConfig
@@ -558,7 +573,7 @@ func run() error {
 
 	nodes := make([]*node, *nNodes)
 	for i := range nodes {
-		if nodes[i], err = newNode(i, *nNodes, table, cfgText, *flowlets, *cores, kind); err != nil {
+		if nodes[i], err = newNode(i, *nNodes, table, cfgText, *flowlets, *cores, kind, *steal); err != nil {
 			return err
 		}
 	}

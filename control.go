@@ -75,7 +75,7 @@ func (p *Pipeline) Calibration() []CalibrationResult {
 // through each (single-threaded, via RunStep — reproducible by
 // construction), and picks the lower score. Ties go to Parallel, the
 // paper's finding.
-func calibrate(prog *click.Program, opts Options) (click.PlanKind, string, []CalibrationResult, error) {
+func calibrate(prog *click.Program, opts Options, segWeights []float64) (click.PlanKind, string, []CalibrationResult, error) {
 	if opts.Cores <= 1 {
 		return Parallel, "auto: 1 core — allocations identical, parallel chosen", nil, nil
 	}
@@ -83,7 +83,7 @@ func calibrate(prog *click.Program, opts Options) (click.PlanKind, string, []Cal
 	best := Parallel
 	bestScore := 0.0
 	for _, kind := range []click.PlanKind{Parallel, Pipelined} {
-		res, err := measure(prog, opts, kind)
+		res, err := measure(prog, opts, kind, segWeights)
 		if err != nil {
 			return 0, "", nil, fmt.Errorf("routebricks: auto calibration (%s): %w", kind, err)
 		}
@@ -105,8 +105,8 @@ func calibrate(prog *click.Program, opts Options) (click.PlanKind, string, []Cal
 // (elements charge their calibrated per-packet costs to the Context)
 // plus the cost model's price for every observed ring crossing,
 // amortized per chain.
-func measure(prog *click.Program, opts Options, kind click.PlanKind) (CalibrationResult, error) {
-	plan, err := click.NewPlan(planConfig(prog, opts, kind))
+func measure(prog *click.Program, opts Options, kind click.PlanKind, segWeights []float64) (CalibrationResult, error) {
+	plan, err := click.NewPlan(planConfig(prog, opts, kind, segWeights))
 	if err != nil {
 		return CalibrationResult{}, err
 	}
@@ -171,6 +171,50 @@ func measure(prog *click.Program, opts Options, kind click.PlanKind) (Calibratio
 		Score:              bottleneck + modelCost,
 		kind:               kind,
 	}, nil
+}
+
+// profileTrunkWeights measures where the program's cycles concentrate:
+// one instrumented instance (chain 0) is driven with the deterministic
+// calibration stream, the Profiler attributes each element's exclusive
+// charged cycles, and Instance.TrunkWeights folds side-branch costs
+// into the trunk segment that feeds them. The result weights the
+// pipelined trunk cut so stages balance measured per-core cycles, not
+// segment counts. Auto-only, for the same reason calibration is: the
+// synthetic stream reaches prebound terminals, which explicit
+// placements must not pay for. Returns nil (count-balanced cuts) when
+// profiling is moot — one core, a single-segment trunk, or a graph
+// that fails to instantiate (the plan build will surface that error).
+func profileTrunkWeights(prog *click.Program, opts Options) []float64 {
+	if opts.Cores <= 1 {
+		return nil
+	}
+	in, err := prog.Instantiate(0)
+	if err != nil || in.Router() == nil || len(in.Segments()) < 2 {
+		return nil
+	}
+	prof := click.NewProfiler()
+	in.Router().Instrument(prof)
+	entryName := in.Segments()[0]
+	dispatch := click.BatchDispatch(in.Entry(), 0)
+	var ctx click.Context
+	batch := pkt.NewBatch(32)
+	pkts := trafficgen.Calibration(calibPackets)
+	for len(pkts) > 0 {
+		n := min(32, len(pkts))
+		batch.Reset()
+		for _, p := range pkts[:n] {
+			batch.Add(p)
+		}
+		pkts = pkts[n:]
+		// The entry element has no instrumented upstream connection;
+		// bracket the dispatch ourselves so its exclusive cycles are
+		// attributed too (the profile_test idiom).
+		fi := ctx.BeginFrame()
+		dispatch(&ctx, batch)
+		prof.Account(entryName, ctx.EndFrame(fi), uint64(n))
+		ctx.TakeCycles()
+	}
+	return in.TrunkWeights(prof)
 }
 
 // ControllerConfig tunes the adaptive Replan controller — the

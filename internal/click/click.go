@@ -56,8 +56,47 @@ type Context struct {
 	// nil in untimed (pure functional) runs.
 	NowNS func() int64
 
+	// PoolShard is the executing core's wired slice of the packet pool,
+	// set by the plan's poll tasks so graph exits recycle — and sources
+	// allocate — against core-local state (see Recycle/Alloc). Nil in
+	// contexts that never entered a placed plan.
+	PoolShard *pkt.PoolShard
+
 	cycles float64
 	frames []frame // profiling stack; empty unless Router.Instrument is active
+}
+
+// Recycle returns p to pool, preferring the executing core's wired
+// shard when it belongs to the same pool — the shared-nothing fast
+// path: a Discard or Sink on core c puts into core c's freelist, and
+// the next poll's allocations find the buffer still cache-warm.
+func (c *Context) Recycle(pool *pkt.Pool, p *pkt.Packet) {
+	if c != nil && c.PoolShard != nil && c.PoolShard.Pool() == pool {
+		c.PoolShard.Put(p)
+		return
+	}
+	pool.Put(p)
+}
+
+// RecycleBatch is Recycle for a whole batch: one shard-lock crossing
+// for all of b's packets.
+func (c *Context) RecycleBatch(pool *pkt.Pool, b *pkt.Batch) {
+	if c != nil && c.PoolShard != nil && c.PoolShard.Pool() == pool {
+		c.PoolShard.PutBatch(b)
+		return
+	}
+	pool.PutBatch(b)
+}
+
+// Alloc draws a packet from pool via the executing core's wired shard
+// when possible — the allocation half of the shared-nothing discipline
+// for elements that materialize packets on the datapath (ESP
+// encapsulation, reassembly).
+func (c *Context) Alloc(pool *pkt.Pool, size int) *pkt.Packet {
+	if c != nil && c.PoolShard != nil && c.PoolShard.Pool() == pool {
+		return c.PoolShard.Get(size)
+	}
+	return pool.Get(size)
 }
 
 // frame tracks one instrumented push: the cycle counter at entry and the

@@ -125,6 +125,28 @@ type PlanConfig struct {
 	// Cost prices placement decisions (core assignment and handoff
 	// boundaries); nil uses NewBusCostModel(Topo, 0).
 	Cost CostModel
+
+	// Steal lets a first-stage core whose own input ring runs dry drain
+	// a hot sibling chain's input ring instead of idling — a bounded
+	// batch steal from the consumer end, serialized by the ring's
+	// consumer lock (exec.Ring.PopBatchShared). Stolen packets run
+	// through the stealer's own graph instance, so per-chain element
+	// state stays single-core; what stealing trades away is flow-to-core
+	// affinity, which is why it is opt-in. Only meaningful when the plan
+	// has more than one chain.
+	Steal bool
+	// StealMin is the backlog (packets) a sibling's input ring must hold
+	// before an idle core steals from it — the imbalance threshold that
+	// keeps a trickle of traffic from ping-ponging between cores.
+	// Default KP (steal only when at least a full poll batch is waiting).
+	StealMin int
+
+	// SegWeights, when its length matches the trunk segment count,
+	// weights the pipelined trunk cut by measured per-segment cycles
+	// (click.Profiler) instead of balancing raw segment counts, so each
+	// stage's core carries a comparable cycle load. Mismatched lengths
+	// (a profile from a different graph) are ignored.
+	SegWeights []float64
 }
 
 // CoreStat is the per-core counter block of a running plan. The fields
@@ -140,6 +162,8 @@ type CoreStat struct {
 	polls    atomic.Uint64 // poll attempts
 	empty    atomic.Uint64 // polls that moved nothing
 	handoffs atomic.Uint64 // batches pushed onward to another core
+	steals   atomic.Uint64 // packets this core stole from sibling input rings
+	stolen   atomic.Uint64 // packets siblings stole from this core's input ring
 }
 
 // Packets reports packets this core pulled from its upstream ring.
@@ -155,6 +179,14 @@ func (s *CoreStat) Empty() uint64 { return s.empty.Load() }
 // ring (always 0 for parallel plans and final stages).
 func (s *CoreStat) Handoffs() uint64 { return s.handoffs.Load() }
 
+// Steals reports packets this core pulled out of sibling chains' input
+// rings because its own ran dry (0 unless the plan enables stealing).
+func (s *CoreStat) Steals() uint64 { return s.steals.Load() }
+
+// Stolen reports packets sibling cores took from this core's input
+// ring. Steals and Stolen balance across a plan's first-stage cores.
+func (s *CoreStat) Stolen() uint64 { return s.stolen.Load() }
+
 // Plan is a materialized core allocation: graphs instantiated per
 // chain, rings allocated, tasks bound to schedule cores.
 type Plan struct {
@@ -168,12 +200,20 @@ type Plan struct {
 
 	inputs       []*exec.Ring // one per chain; callers feed these
 	inputCore    []int        // first core of each chain (polls the input ring)
+	inputStat    []*CoreStat  // first core's stat block per chain (steal accounting)
 	handoffs     []*exec.Ring // pipelined only: all inter-stage rings
 	handoffChain []int        // chain owning each handoff ring
 	handoffFrom  []int        // producer core of each handoff ring
 	handoffTo    []int        // consumer core of each handoff ring
 	stats        []*CoreStat
 	instances    []*Instance // one per chain, in chain order
+
+	// steal enables the first-stage work-stealing protocol (resolved
+	// from PlanConfig.Steal; forced off for single-chain plans, where
+	// there is no sibling to steal from). stealMin is the victim-backlog
+	// threshold.
+	steal    bool
+	stealMin int
 	// lost counts packets the plan itself recycled because a handoff
 	// ring rejected them — possible only when a stage emits more packets
 	// than it polled, since polling is capped by downstream free space.
@@ -229,8 +269,11 @@ func NewPlan(cfg PlanConfig) (*Plan, error) {
 		return nil, err
 	}
 
+	if cfg.StealMin <= 0 {
+		cfg.StealMin = cfg.KP
+	}
 	p := &Plan{kind: cfg.Kind, cores: cfg.Cores, sched: NewSchedule(cfg.Cores),
-		topo: cfg.Topo, cost: cfg.Cost}
+		topo: cfg.Topo, cost: cfg.Cost, stealMin: cfg.StealMin}
 	instance := func(chain int) (*Instance, error) {
 		if chain == 0 {
 			return first, nil
@@ -280,6 +323,10 @@ func NewPlan(cfg PlanConfig) (*Plan, error) {
 			}
 		}
 	}
+	// Stealing needs a sibling chain to steal from; the flag is resolved
+	// after the chains are built and read by every poll closure at run
+	// time.
+	p.steal = cfg.Steal && p.chains > 1
 	p.runner = NewRunner(p.sched)
 	return p, nil
 }
@@ -340,7 +387,12 @@ func (p *Plan) buildChain(cfg PlanConfig, chain int, cores []int, in *Instance) 
 	p.instances = append(p.instances, in)
 
 	groups := len(cores)
-	bounds := chooseBounds(len(in.segs), groups, in.noCut)
+	var bounds []int
+	if len(cfg.SegWeights) == len(in.segs) {
+		bounds = chooseBoundsWeighted(len(in.segs), groups, in.noCut, cfg.SegWeights)
+	} else {
+		bounds = chooseBounds(len(in.segs), groups, in.noCut)
+	}
 	upstream := input
 	for g := 0; g < groups; g++ {
 		lo, hi := bounds[g], bounds[g+1]
@@ -373,7 +425,10 @@ func (p *Plan) buildChain(cfg PlanConfig, chain int, cores []int, in *Instance) 
 		stat := &CoreStat{Core: cores[g], Socket: cfg.Topo.SocketOf(cores[g]),
 			Chain: chain, Stages: strings.Join(in.names[lo:hi], "+")}
 		p.stats = append(p.stats, stat)
-		p.sched.MustBind(cores[g], pollTask(upstream, downstream, in.segs[lo].Entry, cfg.KP, stat))
+		if g == 0 {
+			p.inputStat = append(p.inputStat, stat)
+		}
+		p.sched.MustBind(cores[g], p.pollTask(upstream, downstream, in.segs[lo].Entry, cfg.KP, stat, chain, g == 0))
 		upstream = downstream
 	}
 	return nil
@@ -382,11 +437,18 @@ func (p *Plan) buildChain(cfg PlanConfig, chain int, cores []int, in *Instance) 
 // pollTask builds the polling loop body for one core: pull up to kp
 // packets from upstream — capped by the downstream ring's free space so
 // a full handoff ring backpressures instead of dropping — and push them
-// through the core's stage group as one batch.
-func pollTask(upstream, downstream *exec.Ring, entry Element, kp int, stat *CoreStat) Task {
+// through the core's stage group as one batch. Each run pins the core's
+// pool shard on the context, so every recycle and allocation inside the
+// dispatched graph runs against core-local freelist state. First-stage
+// cores of a steal-enabled plan consume their input ring through the
+// shared (consumer-locked) protocol and, when it runs dry, drain the
+// deepest sibling backlog instead of reporting an empty poll.
+func (p *Plan) pollTask(upstream, downstream *exec.Ring, entry Element, kp int, stat *CoreStat, chain int, firstStage bool) Task {
 	scratch := pkt.NewBatch(kp)
 	dispatch := BatchDispatch(entry, 0)
+	shard := pkt.DefaultPool.Shard(stat.Core)
 	return TaskFunc(func(ctx *Context) int {
+		ctx.PoolShard = shard
 		limit := kp
 		if downstream != nil {
 			if room := downstream.Free(); room < limit {
@@ -397,8 +459,17 @@ func pollTask(upstream, downstream *exec.Ring, entry Element, kp int, stat *Core
 			}
 		}
 		scratch.Reset()
-		n := upstream.PopBatchInto(scratch, limit)
+		stealing := firstStage && p.steal
+		var n int
+		if stealing {
+			n = upstream.PopBatchShared(scratch, limit)
+		} else {
+			n = upstream.PopBatchInto(scratch, limit)
+		}
 		stat.polls.Add(1)
+		if n == 0 && stealing {
+			n = p.stealInto(scratch, limit, chain, stat)
+		}
 		if n == 0 {
 			stat.empty.Add(1)
 			return 0
@@ -410,6 +481,33 @@ func pollTask(upstream, downstream *exec.Ring, entry Element, kp int, stat *Core
 		dispatch(ctx, scratch)
 		return n
 	})
+}
+
+// stealInto drains up to limit packets from the sibling chain whose
+// input ring holds the deepest backlog (at least stealMin), crediting
+// the steal to the thief and the loss to the victim. The victim's ring
+// is consumed through its consumer lock, so the steal cannot race the
+// victim's own poll; the stolen packets run through the thief's graph
+// instance.
+func (p *Plan) stealInto(b *pkt.Batch, limit, chain int, stat *CoreStat) int {
+	victim, deepest := -1, p.stealMin
+	for ch, r := range p.inputs {
+		if ch == chain {
+			continue
+		}
+		if l := r.Len(); l >= deepest {
+			victim, deepest = ch, l
+		}
+	}
+	if victim < 0 {
+		return 0
+	}
+	n := p.inputs[victim].PopBatchShared(b, limit)
+	if n > 0 {
+		stat.steals.Add(uint64(n))
+		p.inputStat[victim].stolen.Add(uint64(n))
+	}
+	return n
 }
 
 // wireStage connects from's output port 0 to to's input port 0 on both

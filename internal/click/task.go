@@ -118,6 +118,16 @@ func (r *Runner) Start() error {
 	if !r.started.CompareAndSwap(false, true) {
 		return fmt.Errorf("click: runner already started")
 	}
+	// Busy-spinning on an empty queue only pays when the producer can
+	// refill it concurrently — i.e. when there are enough OS-level
+	// execution slots for producers to run while this core spins. On an
+	// oversubscribed host (more polling cores than GOMAXPROCS) the spin
+	// quantum is stolen from the very goroutine that would deliver the
+	// work, so skip straight to yielding.
+	spin := idleSpinSteps
+	if runtime.GOMAXPROCS(0) <= r.sched.Cores() {
+		spin = 0
+	}
 	for core := 0; core < r.sched.Cores(); core++ {
 		core := core
 		r.wg.Add(1)
@@ -136,7 +146,7 @@ func (r *Runner) Start() error {
 				}
 				idle++
 				switch {
-				case idle <= idleSpinSteps:
+				case idle <= spin:
 					// Busy-spin: traffic usually refills within nanoseconds.
 				case idle <= idleYieldSteps:
 					runtime.Gosched()

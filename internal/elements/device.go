@@ -126,7 +126,7 @@ func (d *ToDevice) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 	} else {
 		d.dropped++
 		if d.Recycle != nil {
-			d.Recycle.Put(p)
+			ctx.Recycle(d.Recycle, p)
 		}
 	}
 }
@@ -146,7 +146,7 @@ func (d *ToDevice) PushBatch(ctx *click.Context, _ int, b *pkt.Batch) {
 	d.sent += uint64(accepted)
 	d.dropped += uint64(n - accepted)
 	if d.Recycle != nil {
-		d.Recycle.PutBatch(b)
+		ctx.RecycleBatch(d.Recycle, b)
 	}
 	b.Reset()
 }
@@ -181,7 +181,7 @@ func (s *Sink) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 		s.Fn(ctx, p)
 	}
 	if s.Recycle != nil {
-		s.Recycle.Put(p)
+		ctx.Recycle(s.Recycle, p)
 	}
 }
 

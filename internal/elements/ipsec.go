@@ -48,7 +48,7 @@ func (e *ESPEncap) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 		e.Out(ctx, 1, p)
 		return
 	}
-	out := pkt.DefaultPool.Get(outLen)
+	out := ctx.Alloc(pkt.DefaultPool, outLen)
 	out.Arrival = p.Arrival
 	out.InputPort = p.InputPort
 	out.SeqNo = p.SeqNo
@@ -66,7 +66,7 @@ func (e *ESPEncap) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 	ih.UpdateChecksum()
 	copy(out.Data[pkt.EtherHdrLen+pkt.IPv4HdrLen:], esp)
 	if e.Recycle != nil {
-		e.Recycle.Put(p)
+		ctx.Recycle(e.Recycle, p)
 	}
 	e.Out(ctx, 0, out)
 }
@@ -109,7 +109,7 @@ func (e *ESPDecap) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 		e.Out(ctx, 1, p)
 		return
 	}
-	out := pkt.DefaultPool.Get(pkt.EtherHdrLen + len(inner))
+	out := ctx.Alloc(pkt.DefaultPool, pkt.EtherHdrLen+len(inner))
 	out.Arrival = p.Arrival
 	out.InputPort = p.InputPort
 	out.SeqNo = p.SeqNo
@@ -119,7 +119,7 @@ func (e *ESPDecap) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 	eh.SetEtherType(pkt.EtherTypeIPv4)
 	copy(out.Data[pkt.EtherHdrLen:], inner)
 	if e.Recycle != nil {
-		e.Recycle.Put(p)
+		ctx.Recycle(e.Recycle, p)
 	}
 	e.Out(ctx, 0, out)
 }

@@ -72,18 +72,18 @@ func (d *Discard) InPorts() int { return 1 }
 func (d *Discard) OutPorts() int { return 0 }
 
 // Push drops.
-func (d *Discard) Push(_ *click.Context, _ int, p *pkt.Packet) {
+func (d *Discard) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 	d.count.Add(1)
 	if d.Recycle != nil {
-		d.Recycle.Put(p)
+		ctx.Recycle(d.Recycle, p)
 	}
 }
 
 // PushBatch drops the whole batch with one counter update.
-func (d *Discard) PushBatch(_ *click.Context, _ int, b *pkt.Batch) {
+func (d *Discard) PushBatch(ctx *click.Context, _ int, b *pkt.Batch) {
 	d.count.Add(uint64(b.Compact()))
 	if d.Recycle != nil {
-		d.Recycle.PutBatch(b)
+		ctx.RecycleBatch(d.Recycle, b)
 	}
 	b.Reset()
 }

@@ -106,21 +106,21 @@ func (r *Reassembler) Push(ctx *click.Context, _ int, p *pkt.Packet) {
 	}
 	if off == 0 {
 		if pd.first != nil && pd.first != p && r.Recycle != nil {
-			r.Recycle.Put(pd.first) // duplicate first fragment supersedes
+			ctx.Recycle(r.Recycle, pd.first) // duplicate first fragment supersedes
 		}
 		pd.first = p
 	} else if r.Recycle != nil {
 		// Payload absorbed; only the first fragment's headers are still
 		// needed for the rebuild.
-		r.Recycle.Put(p)
+		ctx.Recycle(r.Recycle, p)
 	}
 
 	if pd.totalLen > 0 && pd.first != nil && r.complete(pd) {
 		delete(r.partial, key)
 		r.completed++
-		out := r.rebuild(pd)
+		out := r.rebuild(ctx, pd)
 		if r.Recycle != nil {
-			r.Recycle.Put(pd.first)
+			ctx.Recycle(r.Recycle, pd.first)
 			pd.first = nil
 		}
 		r.Out(ctx, 0, out)
@@ -140,8 +140,8 @@ func (r *Reassembler) complete(pd *partialDatagram) bool {
 
 // rebuild assembles the full datagram from the first fragment's headers
 // and the collected payload, into a pool-drawn buffer.
-func (r *Reassembler) rebuild(pd *partialDatagram) *pkt.Packet {
-	out := pkt.DefaultPool.Get(pkt.EtherHdrLen + pkt.IPv4HdrLen + pd.totalLen)
+func (r *Reassembler) rebuild(ctx *click.Context, pd *partialDatagram) *pkt.Packet {
+	out := ctx.Alloc(pkt.DefaultPool, pkt.EtherHdrLen+pkt.IPv4HdrLen+pd.totalLen)
 	out.Arrival = pd.first.Arrival
 	out.InputPort = pd.first.InputPort
 	out.SeqNo = pd.first.SeqNo

@@ -11,6 +11,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"routebricks/internal/pkt"
@@ -43,6 +44,12 @@ type Ring struct {
 	tailCache uint64
 	_         [48]byte
 	rejected  atomic.Uint64
+
+	// cmu serializes the consumer side for rings that opt into shared
+	// consumption via PopBatchShared — the work-stealing protocol, where
+	// an idle sibling core drains this ring alongside its owner. The
+	// SPSC paths never touch it, so plans without stealing pay nothing.
+	cmu sync.Mutex
 }
 
 // NewRing creates a handoff ring with capacity rounded up to a power of
@@ -172,6 +179,20 @@ func (r *Ring) PopBatchInto(b *pkt.Batch, max int) int {
 		r.head.Store(head + n)
 	}
 	return int(n)
+}
+
+// PopBatchShared is PopBatchInto under the ring's consumer lock — the
+// steal-side protocol: when a plan enables work stealing, the ring's
+// owning core and any stealing sibling both consume through this
+// method, so head and tailCache stay single-writer even with several
+// candidate consumers. The producer side is untouched: pushes remain
+// lock-free SPSC. Mixing PopBatchShared with the unlocked consumer
+// methods on the same ring is a programming error.
+func (r *Ring) PopBatchShared(b *pkt.Batch, max int) int {
+	r.cmu.Lock()
+	n := r.PopBatchInto(b, max)
+	r.cmu.Unlock()
+	return n
 }
 
 // Drain pops every packet currently in the ring into fn and reports how

@@ -80,8 +80,14 @@ type Packet struct {
 	NextHop   int    // route-lookup result annotation (Click's dst anno)
 
 	// pooled guards against double-free: set while the packet sits on a
-	// Pool freelist, cleared when Get hands it out again.
-	pooled bool
+	// Pool freelist, cleared when Get hands it out again. It is a uint32
+	// manipulated with atomic CAS (not atomic.Uint32 — Packet structs are
+	// whole-copied by Clone and getRaw) so two shards racing on a double
+	// Put agree on exactly one winner.
+	pooled uint32
+	// home stamps the pool shard the buffer was drawn from, so a plain
+	// Pool.Put can route the packet back to its origin shard.
+	home uint8
 }
 
 // New builds a packet of exactly size bytes with an Ethernet+IPv4+UDP
@@ -120,10 +126,12 @@ func (p *Packet) Len() int { return len(p.Data) }
 func (p *Packet) Clone() *Packet {
 	q := DefaultPool.getRaw(len(p.Data))
 	data := q.Data
+	home := q.home
 	copy(data, p.Data)
 	*q = *p
 	q.Data = data
-	q.pooled = false
+	q.pooled = 0
+	q.home = home
 	return q
 }
 

@@ -20,6 +20,25 @@ type CoreSnapshot struct {
 	Polls    uint64 `json:"polls"`
 	Empty    uint64 `json:"empty"`
 	Handoffs uint64 `json:"handoffs"`
+	// Steals counts packets this core pulled from sibling chains' input
+	// rings; Stolen counts packets siblings took from this core's ring.
+	// Both stay 0 unless the plan enables work stealing.
+	Steals uint64 `json:"steals,omitempty"`
+	Stolen uint64 `json:"stolen,omitempty"`
+}
+
+// PoolSnapshot is the packet pool's freelist health: how many shards it
+// runs, how many buffers sit idle (shards plus backing store), and the
+// monotonic get/hit/put counters — all read from atomics, so snapshots
+// never serialize the datapath. A hit rate near 1 means steady-state
+// forwarding allocates nothing; double puts indicate an ownership bug.
+type PoolSnapshot struct {
+	Shards     int    `json:"shards"`
+	Free       int    `json:"free"`
+	Gets       uint64 `json:"gets"`
+	Hits       uint64 `json:"hits"`
+	Puts       uint64 `json:"puts"`
+	DoublePuts uint64 `json:"double_puts"`
 }
 
 // RingSnapshot is one ring's state: Role is "input" (caller-fed) or
@@ -69,6 +88,11 @@ type Snapshot struct {
 	// cumulative for a plain Snapshot, per-interval after Delta — the
 	// one number the replan controller and operators watch.
 	Imbalance float64 `json:"imbalance"`
+
+	// Pool is the process packet pool's freelist health at snapshot
+	// time. Unlike the plan counters it is process-global: it does not
+	// reset at generation boundaries.
+	Pool PoolSnapshot `json:"pool"`
 
 	CoreStats []CoreSnapshot    `json:"core_stats"`
 	Rings     []RingSnapshot    `json:"rings"`
@@ -139,8 +163,16 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 			out.CoreStats[i].Polls = sub(out.CoreStats[i].Polls, p.Polls)
 			out.CoreStats[i].Empty = sub(out.CoreStats[i].Empty, p.Empty)
 			out.CoreStats[i].Handoffs = sub(out.CoreStats[i].Handoffs, p.Handoffs)
+			out.CoreStats[i].Steals = sub(out.CoreStats[i].Steals, p.Steals)
+			out.CoreStats[i].Stolen = sub(out.CoreStats[i].Stolen, p.Stolen)
 		}
 	}
+
+	// Pool counters are process-global monotonic; Shards/Free are gauges.
+	out.Pool.Gets = sub(s.Pool.Gets, prev.Pool.Gets)
+	out.Pool.Hits = sub(s.Pool.Hits, prev.Pool.Hits)
+	out.Pool.Puts = sub(s.Pool.Puts, prev.Pool.Puts)
+	out.Pool.DoublePuts = sub(s.Pool.DoublePuts, prev.Pool.DoublePuts)
 
 	out.Rings = make([]RingSnapshot, len(s.Rings))
 	copy(out.Rings, s.Rings)

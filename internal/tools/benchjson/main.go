@@ -102,6 +102,82 @@ func parseBench(path string) ([]benchResult, error) {
 	return out, sc.Err()
 }
 
+// collapseBest reduces repeated runs of the same benchmark (`-count N`)
+// to the best one — highest Mpps when the benchmark reports it, lowest
+// ns/op otherwise. Best-of is the right estimator for a throughput
+// trajectory on shared CI hardware: the slow runs measure the noisy
+// neighbor, the fast run measures the code.
+func collapseBest(in []benchResult) []benchResult {
+	better := func(a, b benchResult) bool {
+		am, aok := a.Metrics["Mpps"]
+		bm, bok := b.Metrics["Mpps"]
+		if aok && bok {
+			return am > bm
+		}
+		return a.Metrics["ns/op"] < b.Metrics["ns/op"]
+	}
+	idx := make(map[string]int, len(in))
+	var out []benchResult
+	for _, r := range in {
+		if i, ok := idx[r.Name]; ok {
+			if better(r, out[i]) {
+				out[i] = r
+			}
+			continue
+		}
+		idx[r.Name] = len(out)
+		out = append(out, r)
+	}
+	return out
+}
+
+// parallelCores extracts N from a benchmark name like
+// "BenchmarkPlacement/parallel/cores=4-8" (the trailing -8 is the
+// GOMAXPROCS suffix go test appends). Returns -1 for any other name.
+func parallelCores(name string) int {
+	const prefix = "BenchmarkPlacement/parallel/cores="
+	if !strings.HasPrefix(name, prefix) {
+		return -1
+	}
+	s := name[len(prefix):]
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		s = s[:i]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return -1
+	}
+	return n
+}
+
+// checkMonotone is the scaling-cliff gate: parallel placement must not
+// lose throughput as cores double. For every parallel entry with 2N
+// cores whose N-core sibling exists, Mpps(2N) must be at least
+// (1-tol)×Mpps(N) — the tolerance absorbs run-to-run noise, not a
+// trend. A violation is exactly the regression this repo's ISSUE 6
+// removed; it must never come back silently.
+func checkMonotone(results []benchResult, tol float64) error {
+	mpps := map[int]float64{}
+	for _, r := range results {
+		if n := parallelCores(r.Name); n > 0 {
+			if v, ok := r.Metrics["Mpps"]; ok {
+				mpps[n] = v
+			}
+		}
+	}
+	for n, half := range mpps {
+		cur, ok := mpps[2*n]
+		if !ok {
+			continue
+		}
+		if floor := half * (1 - tol); cur < floor {
+			return fmt.Errorf("scaling cliff: parallel Mpps dropped %d cores -> %d cores: %.3f -> %.3f (floor %.3f at tolerance %.2f)",
+				n, 2*n, half, cur, floor, tol)
+		}
+	}
+	return nil
+}
+
 // placementConfig mirrors the BenchmarkPlacement workload (the
 // standard IP forwarding trunk with per-cause side branches) so the
 // calibration scores in the JSON describe the same graph the Mpps
@@ -217,15 +293,20 @@ func run() error {
 	benchPath := flag.String("bench", "", "go test -bench output to parse")
 	outPath := flag.String("out", "BENCH_placement.json", "JSON file to write")
 	basePath := flag.String("baseline", "", "previous JSON to diff decisions against (fails on a decision change with unchanged inputs)")
+	monoTol := flag.Float64("monotone-tol", 0.15, "tolerated fractional Mpps drop when parallel cores double (scaling-cliff gate); negative disables")
 	flag.Parse()
 
 	var doc output
+	monoErr := error(nil)
 	if *benchPath != "" {
 		b, err := parseBench(*benchPath)
 		if err != nil {
 			return fmt.Errorf("parse %s: %w", *benchPath, err)
 		}
-		doc.Benchmarks = b
+		doc.Benchmarks = collapseBest(b)
+		if *monoTol >= 0 {
+			monoErr = checkMonotone(doc.Benchmarks, *monoTol)
+		}
 	}
 	for _, in := range sweepInputs() {
 		c, err := calibrate(in)
@@ -236,8 +317,8 @@ func run() error {
 	}
 	// Diff before overwriting (the baseline is usually the same file),
 	// but always write the regenerated document: a flagged decision
-	// change still fails the run, and the written file is exactly what
-	// the operator reviews and commits to accept it.
+	// change or scaling cliff still fails the run, and the written file
+	// is exactly what the operator reviews and commits to accept it.
 	diffErr := error(nil)
 	if *basePath != "" {
 		diffErr = checkBaseline(*basePath, doc.Calibration)
@@ -250,7 +331,10 @@ func run() error {
 	if err := os.WriteFile(*outPath, raw, 0o644); err != nil {
 		return err
 	}
-	return diffErr
+	if diffErr != nil {
+		return diffErr
+	}
+	return monoErr
 }
 
 func main() {

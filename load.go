@@ -134,6 +134,20 @@ type Options struct {
 	// custom pricing, test stubs). When set, Topology still steers
 	// queue affinity but HandoffCycles is ignored.
 	CostModel CostModel
+	// Steal lets a chain's first core drain a hot sibling chain's input
+	// ring when its own runs dry — bounded batch steals from the
+	// consumer end, serialized by a per-ring consumer lock, with
+	// per-core Steals/Stolen counters in the Snapshot. Stolen packets
+	// run through the stealer's own graph copy, so per-chain element
+	// state stays single-core; what stealing gives up is flow-to-core
+	// affinity (packets of one flow may interleave across cores), which
+	// is why it defaults off. Like Placement, the flag is taken as given
+	// on Reload/Replan rather than inherited.
+	Steal bool
+	// StealMin is the backlog a sibling's input ring must hold before an
+	// idle core steals from it (default KP — a full poll batch).
+	// Negative values are rejected.
+	StealMin int
 }
 
 // validate rejects malformed options with a descriptive error instead
@@ -156,6 +170,9 @@ func (o Options) validate() error {
 	}
 	if o.HandoffCycles < 0 {
 		return fmt.Errorf("routebricks: HandoffCycles must be non-negative (0 means measure at Load), got %g", o.HandoffCycles)
+	}
+	if o.StealMin < 0 {
+		return fmt.Errorf("routebricks: StealMin must be non-negative (0 means the default KP), got %d", o.StealMin)
 	}
 	if o.Topology != nil {
 		if err := o.Topology.Validate(); err != nil {
@@ -260,6 +277,9 @@ func merge(cur, next Options) Options {
 	if next.CostModel == nil {
 		next.CostModel = cur.CostModel
 	}
+	if next.StealMin == 0 {
+		next.StealMin = cur.StealMin
+	}
 	return next
 }
 
@@ -334,18 +354,25 @@ func buildPlan(text string, opts Options) (*click.Plan, Options, string, []Calib
 	prog := click.ParseProgram(text, opts.Registry, opts.Prebound)
 	prog.Entry = opts.Entry
 	var (
-		decision string
-		calib    []CalibrationResult
+		decision   string
+		calib      []CalibrationResult
+		segWeights []float64
 	)
 	if opts.Placement == Auto {
-		kind, d, results, err := calibrate(prog, opts)
+		// Auto already drives calibration traffic through the graph, so
+		// the same deterministic stream also measures per-trunk-segment
+		// cycles; candidate pipelined plans (and the final one, if
+		// pipelined wins) cut the trunk by those measured weights instead
+		// of by segment counts.
+		segWeights = profileTrunkWeights(prog, opts)
+		kind, d, results, err := calibrate(prog, opts, segWeights)
 		if err != nil {
 			return nil, opts, "", nil, err
 		}
 		opts.Placement = kind
 		decision, calib = d, results
 	}
-	plan, err := click.NewPlan(planConfig(prog, opts, opts.Placement))
+	plan, err := click.NewPlan(planConfig(prog, opts, opts.Placement, segWeights))
 	if err != nil {
 		return nil, opts, "", nil, err
 	}
@@ -355,7 +382,7 @@ func buildPlan(text string, opts Options) (*click.Plan, Options, string, []Calib
 // planConfig maps resolved Options onto the planner's config, wiring
 // in the topology and cost model every plan (candidate or final) is
 // placed and scored against.
-func planConfig(prog *click.Program, opts Options, kind PlanKind) click.PlanConfig {
+func planConfig(prog *click.Program, opts Options, kind PlanKind, segWeights []float64) click.PlanConfig {
 	return click.PlanConfig{
 		Kind:       kind,
 		Cores:      opts.Cores,
@@ -366,6 +393,9 @@ func planConfig(prog *click.Program, opts Options, kind PlanKind) click.PlanConf
 		Sink:       opts.Sink,
 		Topo:       *opts.Topology,
 		Cost:       opts.costModel(),
+		Steal:      opts.Steal,
+		StealMin:   opts.StealMin,
+		SegWeights: segWeights,
 	}
 }
 

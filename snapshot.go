@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"routebricks/internal/pkt"
 	"routebricks/internal/stats"
 )
 
@@ -33,6 +34,15 @@ func (p *Pipeline) Snapshot() Snapshot {
 		Drops:      plan.Drops() + p.drainDrops.Load(),
 		Rejected:   plan.Rejections(),
 	}
+	gets, hits, puts, doublePuts := pkt.DefaultPool.Stats()
+	s.Pool = stats.PoolSnapshot{
+		Shards:     pkt.DefaultPool.Shards(),
+		Free:       pkt.DefaultPool.FreeLen(),
+		Gets:       gets,
+		Hits:       hits,
+		Puts:       puts,
+		DoublePuts: doublePuts,
+	}
 	for _, cs := range plan.Stats() {
 		s.CoreStats = append(s.CoreStats, stats.CoreSnapshot{
 			Core:     cs.Core,
@@ -43,6 +53,8 @@ func (p *Pipeline) Snapshot() Snapshot {
 			Polls:    cs.Polls(),
 			Empty:    cs.Empty(),
 			Handoffs: cs.Handoffs(),
+			Steals:   cs.Steals(),
+			Stolen:   cs.Stolen(),
 		})
 	}
 	s.Imbalance = s.ImbalanceRatio()
