@@ -28,26 +28,33 @@ bench:
 # target (a pipe would return tee's status, not go test's).
 BENCH_OUT ?= bench-smoke.txt
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkDispatch|BenchmarkServerModel|BenchmarkPlacement|BenchmarkHandoff|BenchmarkPool' -benchmem -benchtime 100x . > $(BENCH_OUT) 2>&1; \
+	$(GO) test -run '^$$' -bench 'BenchmarkDispatch|BenchmarkServerModel|BenchmarkPlacement|BenchmarkHandoff|BenchmarkPool|BenchmarkChurn' -benchmem -benchtime 100x . > $(BENCH_OUT) 2>&1; \
 	status=$$?; cat $(BENCH_OUT); exit $$status
 
-# Machine-readable perf trajectory: the BenchmarkPlacement sweep plus
-# the Placement: Auto calibration scores under pinned cost-model
-# inputs, as one JSON document. CI regenerates it per commit; the
-# checked-in copy is both the trajectory seed and the decision-diff
-# baseline — benchjson fails this target when Auto's decided placement
-# changes for inputs that did not (commit a regenerated file to accept
-# an intentional change), or when the parallel Mpps curve develops a
-# scaling cliff (drops beyond tolerance as cores double). The sweep
-# runs steady-state iteration counts with repeats — benchjson keeps the
+# Machine-readable perf trajectory: the BenchmarkPlacement sweep and
+# the BenchmarkChurn million-route live-FIB runs, plus the Placement:
+# Auto calibration scores under pinned cost-model inputs, as one JSON
+# document. CI regenerates it per commit; the checked-in copy is both
+# the trajectory seed and the decision-diff baseline — benchjson fails
+# this target when Auto's decided placement changes for inputs that did
+# not (commit a regenerated file to accept an intentional change), when
+# the parallel Mpps curve develops a scaling cliff (drops beyond
+# tolerance as cores double), or when forwarding under live route churn
+# falls beyond tolerance below the idle-control-plane run. The sweeps
+# run steady-state iteration counts with repeats — benchjson keeps the
 # best run per benchmark — because a 100-iteration sweep measures
 # startup, and a single run on shared hardware measures the neighbors.
+# Churn runs deeper than the placement sweep so several paced FIB
+# commits land inside each timed window.
 BENCH_JSON ?= BENCH_placement.json
 PLACEMENT_OUT ?= placement-bench.txt
 BENCH_ITERS ?= 200000x
+CHURN_ITERS ?= 1000000x
 BENCH_REPEAT ?= 3
 bench-json:
 	$(GO) test -run '^$$' -bench BenchmarkPlacement -benchmem -benchtime $(BENCH_ITERS) -count $(BENCH_REPEAT) . > $(PLACEMENT_OUT) 2>&1; \
+	status=$$?; [ $$status -eq 0 ] || { cat $(PLACEMENT_OUT); exit $$status; }
+	$(GO) test -run '^$$' -bench BenchmarkChurn -benchmem -benchtime $(CHURN_ITERS) -count $(BENCH_REPEAT) . >> $(PLACEMENT_OUT) 2>&1; \
 	status=$$?; cat $(PLACEMENT_OUT); [ $$status -eq 0 ] || exit $$status
 	$(GO) run ./internal/tools/benchjson -bench $(PLACEMENT_OUT) -baseline $(BENCH_JSON) -out $(BENCH_JSON)
 	@echo wrote $(BENCH_JSON)

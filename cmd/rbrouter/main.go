@@ -10,11 +10,17 @@
 // -config swaps in any .click file written against the standard element
 // registry plus the prebound names the command supplies:
 //
-//	fib        LPMLookup bound to the cluster FIB (node d owns 10.d.0.0/16)
+//	fib        LPMLookup bound to the cluster's live FIB (node d owns 10.d.0.0/16)
 //	vlb        terminal Direct-VLB forwarder (MAC rewrite + mesh emit)
 //	badhdr     counting drop for CheckIPHeader failures
 //	badttl     counting drop for expired TTLs
 //	missroute  counting drop for FIB misses
+//
+// The cluster FIB is a routebricks.RouteAdmin (RCU generation-swapped
+// live table, bound through Options.FIB): routes can be added and
+// withdrawn while every node forwards at full rate, and the admin API
+// exposes exactly that — route changes commit once and reach all nodes'
+// datapath cores without a reload.
 //
 // The framework parallelizes whatever graph the config describes:
 // -cores picks the core count and -placement the §4.2 allocation
@@ -27,8 +33,9 @@
 // barrier (prebound FIB/VLB resources carry over), -replan-auto starts
 // a per-node controller that watches observed load and re-decides the
 // placement automatically when the per-core imbalance crosses its
-// hysteresis threshold, and -stats-addr serves the cluster's unified
-// stats snapshot (plus controller state) as JSON over HTTP.
+// hysteresis threshold, and -stats-addr serves the versioned admin API
+// (stats, controller state, live FIB route ops, replan) as JSON over
+// HTTP.
 //
 // Usage:
 //
@@ -38,14 +45,20 @@
 //	rbrouter -cores 4 -placement auto   # calibrate and pick the allocation
 //	rbrouter -cores 4 -placement auto -replan-auto   # keep re-deciding under load
 //	rbrouter -config my.click     # custom per-node ingress program
-//	rbrouter -stats-addr 127.0.0.1:8642   # GET /stats → JSON snapshot
+//	rbrouter -stats-addr 127.0.0.1:8642   # versioned admin API (see below)
+//	curl http://127.0.0.1:8642/api/v1/stats        # cluster snapshot
+//	curl http://127.0.0.1:8642/api/v1/controller   # replan-controller state
+//	curl http://127.0.0.1:8642/api/v1/routes       # live FIB listing + generation
+//	curl -X POST -d '{"add":[{"prefix":"192.0.2.0/24","next_hop":1}]}' \
+//	     http://127.0.0.1:8642/api/v1/routes       # commit a route batch live
+//	curl -X DELETE 'http://127.0.0.1:8642/api/v1/routes?prefix=192.0.2.0/24'
+//	curl -X POST http://127.0.0.1:8642/api/v1/replan   # re-decide placement now
 //	kill -HUP <pid>               # reload -config into the running datapath
 //	rbrouter -print-graph         # dump the ingress graph as Graphviz dot and exit
 //	rbrouter -print-graph | dot -Tsvg > graph.svg
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -63,7 +76,6 @@ import (
 	"routebricks/internal/click"
 	"routebricks/internal/elements"
 	"routebricks/internal/exec"
-	"routebricks/internal/lpm"
 	"routebricks/internal/pcap"
 	"routebricks/internal/pkt"
 	"routebricks/internal/sim"
@@ -216,12 +228,12 @@ func (nd *node) enqueue(q *txQueue, p *pkt.Packet) {
 }
 
 // prebound resolves the instances a node's Click program may name, for
-// one chain. Each chain gets its own LPMLookup (over the shared frozen
-// table) and its own VLB balancer — the balancer is single-threaded by
+// one chain. The `fib` name binds through Options.FIB (the cluster's
+// shared live table — each chain's LPMLookup snapshots it per batch);
+// each chain gets its own VLB balancer, which is single-threaded by
 // contract, and a chain runs on exactly one core at a time.
-func (nd *node) prebound(table *lpm.Dir248, flowlets bool, chain int) map[string]routebricks.Element {
+func (nd *node) prebound(flowlets bool, chain int) map[string]routebricks.Element {
 	return map[string]routebricks.Element{
-		"fib": elements.NewLPMLookup(table),
 		"vlb": &udpForward{nd: nd, bal: vlb.New(vlb.Config{
 			Nodes: nd.n, Self: nd.id,
 			LineRateBps: 1e9, // demo-scale line rate for the quota clock
@@ -249,14 +261,14 @@ func countDrop(n *atomic.Uint64) *elements.Sink {
 // synthetic packets through the candidate plans, so the probe graph
 // must not touch sockets or pollute node counters. Used at startup for
 // -placement auto and again by every -replan-auto controller trip.
-func probePlacement(cfgText string, table *lpm.Dir248, cores int) (*routebricks.Pipeline, error) {
+func probePlacement(cfgText string, fib *routebricks.RouteAdmin, cores int) (*routebricks.Pipeline, error) {
 	return routebricks.Load(cfgText, routebricks.Options{
 		Cores:     cores,
 		Placement: routebricks.Auto,
+		FIB:       fib,
 		Prebound: func(int) map[string]routebricks.Element {
 			sink := func() routebricks.Element { return &elements.Sink{Recycle: pkt.DefaultPool} }
 			return map[string]routebricks.Element{
-				"fib":       elements.NewLPMLookup(table),
 				"vlb":       sink(),
 				"badhdr":    sink(),
 				"badttl":    sink(),
@@ -279,7 +291,7 @@ func printPrebound(chain int) map[string]routebricks.Element {
 	}
 }
 
-func newNode(id, n int, table *lpm.Dir248, cfgText string, flowlets bool, cores int, kind click.PlanKind, steal bool) (*node, error) {
+func newNode(id, n int, fib *routebricks.RouteAdmin, cfgText string, flowlets bool, cores int, kind click.PlanKind, steal bool) (*node, error) {
 	ext, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
 		return nil, err
@@ -308,8 +320,9 @@ func newNode(id, n int, table *lpm.Dir248, cfgText string, flowlets bool, cores 
 		KP:        32,
 		InputCap:  4096,
 		Steal:     steal,
+		FIB:       fib,
 		Prebound: func(chain int) map[string]routebricks.Element {
-			return nd.prebound(table, flowlets, chain)
+			return nd.prebound(flowlets, chain)
 		},
 	})
 	if err != nil {
@@ -491,7 +504,7 @@ func run() error {
 		replanAuto = flag.Bool("replan-auto", false, "watch per-node load and Replan(auto) when the observed imbalance crosses the controller's threshold")
 		printGraph = flag.Bool("print-graph", false, "print the ingress element graph as Graphviz dot and exit")
 		pcapPath   = flag.String("pcap", "", "capture egress traffic to this pcap file")
-		statsAddr  = flag.String("stats-addr", "", "serve the cluster stats snapshot as JSON on this HTTP address (GET /stats)")
+		statsAddr  = flag.String("stats-addr", "", "serve the versioned admin API (stats, controller, live FIB routes, replan) on this HTTP address under /api/v1")
 		steal      = flag.Bool("steal", false, "let idle datapath cores steal batches from overloaded siblings' input rings (trades flow affinity for utilization)")
 	)
 	flag.Parse()
@@ -541,22 +554,26 @@ func run() error {
 		}
 	}
 
-	// Shared FIB: node d owns 10.d.0.0/16.
-	table := lpm.NewDir248()
+	// Shared live FIB: node d owns 10.d.0.0/16, seeded as one commit.
+	// Every node's LPMLookup snapshots this table per batch, so route
+	// changes posted to /api/v1/routes reach all datapath cores without
+	// touching the running plans.
+	seed := make([]routebricks.Route, *nNodes)
 	for d := 0; d < *nNodes; d++ {
 		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(d), 0, 0}), 16)
-		if err := table.Insert(p, d); err != nil {
-			return err
-		}
+		seed[d] = routebricks.Route{Prefix: p, NextHop: d}
 	}
-	table.Freeze()
+	fib, err := routebricks.NewFIB(seed...)
+	if err != nil {
+		return err
+	}
 
 	// Resolve -placement auto once, against hermetic stand-in terminals
 	// (calibration drives synthetic traffic through the graph, so the
 	// probe must not touch sockets or pollute node counters); every node
 	// then gets the measured decision.
 	if autoPlace {
-		probe, err := probePlacement(cfgText, table, *cores)
+		probe, err := probePlacement(cfgText, fib, *cores)
 		if err != nil {
 			return fmt.Errorf("auto placement calibration: %w", err)
 		}
@@ -573,7 +590,7 @@ func run() error {
 
 	nodes := make([]*node, *nNodes)
 	for i := range nodes {
-		if nodes[i], err = newNode(i, *nNodes, table, cfgText, *flowlets, *cores, kind, *steal); err != nil {
+		if nodes[i], err = newNode(i, *nNodes, fib, cfgText, *flowlets, *cores, kind, *steal); err != nil {
 			return err
 		}
 	}
@@ -606,7 +623,7 @@ func run() error {
 					cfgMu.Lock()
 					text := cfgCurrent
 					cfgMu.Unlock()
-					probe, err := probePlacement(text, table, *cores)
+					probe, err := probePlacement(text, fib, *cores)
 					if err != nil {
 						return err
 					}
@@ -658,25 +675,37 @@ func run() error {
 		}
 	}()
 
-	// -stats-addr: the cluster's unified observability surface — every
-	// node's typed ingress Snapshot plus its socket-level counters, as
-	// JSON.
+	// -stats-addr: the versioned admin API — the cluster's unified
+	// observability surface (every node's typed ingress Snapshot plus its
+	// socket-level counters, and per-node controller state) alongside the
+	// write side: live FIB route ops and an on-demand cluster replan.
 	if *statsAddr != "" {
 		ln, err := net.Listen("tcp", *statsAddr)
 		if err != nil {
 			return fmt.Errorf("stats-addr: %w", err)
 		}
-		mux := http.NewServeMux()
-		mux.HandleFunc("/stats", func(w http.ResponseWriter, _ *http.Request) {
-			w.Header().Set("Content-Type", "application/json")
-			enc := json.NewEncoder(w)
-			enc.SetIndent("", "  ")
-			enc.Encode(clusterSnapshot(nodes))
-		})
-		srv := &http.Server{Handler: mux}
+		// POST /api/v1/replan re-decides every node's placement against
+		// the hermetic probe — the same guarded path -replan-auto uses.
+		replanAll := func() error {
+			cfgMu.Lock()
+			text := cfgCurrent
+			cfgMu.Unlock()
+			probe, err := probePlacement(text, fib, *cores)
+			if err != nil {
+				return err
+			}
+			want := probe.Placement()
+			for _, nd := range nodes {
+				if err := nd.ingress.Replan(routebricks.Options{Placement: want}); err != nil {
+					return fmt.Errorf("node %d: %w", nd.id, err)
+				}
+			}
+			return nil
+		}
+		srv := &http.Server{Handler: newAdminMux(nodes, fib, replanAll)}
 		go srv.Serve(ln)
 		defer srv.Close()
-		fmt.Printf("stats: http://%s/stats\n", ln.Addr())
+		fmt.Printf("admin API: http://%s/api/v1/{stats,controller,routes,replan} (/stats is a deprecated alias)\n", ln.Addr())
 	}
 
 	// Collector: count deliveries and measure reordering.

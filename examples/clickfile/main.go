@@ -3,10 +3,12 @@
 // (§1: the router "is fully programmable using the familiar Click/Linux
 // environment") and handed to routebricks.Load — with Placement: Auto,
 // so the §4.2 core allocation is picked by measured calibration rather
-// than a flag. The route table is passed in as a per-chain prebound
-// instance. After the run, the example exercises the rest of the live
-// control plane: the unified Snapshot (with Delta rates) and a
-// zero-downtime Reload of the same program.
+// than a flag. The route table is a live FIB bound through Options.FIB:
+// the Click name `fib` resolves to it on every chain, and routes can be
+// added or withdrawn while the cores forward. After the run, the
+// example exercises the rest of the live control plane: the unified
+// Snapshot (with Delta rates), a zero-downtime Reload of the same
+// program, and a live route commit through Pipeline.Routes().
 //
 //	go run ./examples/clickfile
 package main
@@ -14,6 +16,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"net/netip"
 	"runtime"
 
 	"routebricks"
@@ -46,19 +49,18 @@ const config = `
 `
 
 func main() {
-	table := lpm.NewDir248()
-	if err := lpm.Build(table, lpm.RandomTable(64*1024, 4, 9, true)); err != nil {
+	fib, err := routebricks.NewFIB(lpm.RandomTable(64*1024, 4, 9, true)...)
+	if err != nil {
 		log.Fatal(err)
 	}
-	table.Freeze()
 
 	const cores = 2
 	opts := routebricks.Options{
 		Cores:     cores,
 		Placement: routebricks.Auto, // calibrate both §4.2 allocations, pick the winner
+		FIB:       fib,              // binds the Click name `fib` on every chain
 		Prebound: func(chain int) map[string]routebricks.Element {
 			return map[string]routebricks.Element{
-				"fib":  elements.NewLPMLookup(table),
 				"sink": &elements.Discard{},
 			}
 		},
@@ -120,5 +122,18 @@ func main() {
 	after := pipe.Snapshot()
 	fmt.Printf("reloaded live: gen=%d plan=%s packets=%d (fresh counters)\n",
 		after.Generation, after.Plan, after.TotalPackets())
+
+	// Route churn without stopping anything: one batched commit through
+	// the admin handle, visible to every chain's next batch. The FIB
+	// generation is a pipeline gauge, reported alongside plan identity.
+	admin := pipe.Routes()
+	gen, err := admin.Update([]routebricks.Route{
+		{Prefix: netip.MustParsePrefix("203.0.113.0/24"), NextHop: 2},
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("live FIB: committed generation %d, %d routes (snapshot gauge gen=%d)\n",
+		gen, admin.Len(), pipe.Snapshot().FIBGeneration)
 	pipe.Stop()
 }

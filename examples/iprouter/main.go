@@ -22,15 +22,18 @@ import (
 )
 
 func main() {
-	// The paper's routing table: 256K prefixes, random next hops.
+	// The paper's routing table: 256K prefixes, random next hops, held in
+	// a live table (one seed commit) so the lookup element runs the same
+	// snapshot-per-batch path a churning deployment uses.
 	const ports = 16
 	const cores = 2
-	table := lpm.NewDir248()
-	if err := lpm.Build(table, lpm.RandomTable(256*1024, ports, 7, true)); err != nil {
+	table, err := lpm.NewLiveTable(lpm.RandomTable(256*1024, ports, 7, true)...)
+	if err != nil {
 		log.Fatal(err)
 	}
-	table.Freeze()
-	fmt.Printf("FIB: %s, %.1f MB lookup arrays\n", table, float64(table.MemoryFootprint())/1e6)
+	snap := table.Load()
+	fmt.Printf("FIB: %s (generation %d), %.1f MB lookup arrays\n",
+		snap, table.Generation(), float64(snap.MemoryFootprint())/1e6)
 
 	// The element graph, as a Program: Build stamps out one independent
 	// copy per chain, so the parallel plan below gives every core its

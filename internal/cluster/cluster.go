@@ -112,7 +112,7 @@ func RB4Config() Config {
 type Cluster struct {
 	cfg   Config
 	eng   *sim.Engine
-	table *lpm.Dir248
+	table *lpm.LiveTable
 	nodes []*node
 
 	// Measurement.
@@ -164,15 +164,16 @@ func New(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:     cfg,
 		eng:     sim.New(),
-		table:   lpm.NewDir248(),
 		Meter:   stats.NewReorderMeter(),
 		Latency: &stats.Series{},
 	}
+	// The FIB is a live table seeded as one batched commit: node prefixes
+	// plus filler routes land as generation 1, and experiment drivers can
+	// churn routes mid-simulation through Table().
+	routes := make([]lpm.Route, 0, cfg.Nodes+cfg.ExtraRoutes)
 	for d := 0; d < cfg.Nodes; d++ {
 		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(d), 0, 0}), 16)
-		if err := c.table.Insert(p, d); err != nil {
-			return nil, err
-		}
+		routes = append(routes, lpm.Route{Prefix: p, NextHop: d})
 	}
 	if cfg.ExtraRoutes > 0 {
 		for i, r := range lpm.RandomTable(cfg.ExtraRoutes, cfg.Nodes, cfg.Seed+1, false) {
@@ -183,12 +184,13 @@ func New(cfg Config) (*Cluster, error) {
 				a[0] = 172
 			}
 			p := netip.PrefixFrom(netip.AddrFrom4(a), r.Prefix.Bits())
-			if err := c.table.Insert(p, i%cfg.Nodes); err != nil {
-				return nil, err
-			}
+			routes = append(routes, lpm.Route{Prefix: p, NextHop: i % cfg.Nodes})
 		}
 	}
-	c.table.Freeze()
+	var err error
+	if c.table, err = lpm.NewLiveTable(routes...); err != nil {
+		return nil, err
+	}
 
 	c.DeliveredByInput = make([]uint64, cfg.Nodes)
 	for id := 0; id < cfg.Nodes; id++ {

@@ -180,14 +180,26 @@ func (d *DecIPTTL) Expired() uint64 { return d.expired }
 // element over a 256K-entry table, §5.1). Hits exit output 0 with
 // p.NextHop set; misses exit output 1. The element charges the routing
 // delta of the calibrated cost model.
+//
+// When the table is a live FIB (*lpm.LiveTable), the batch path pins the
+// current snapshot once per batch — route churn costs forwarding one
+// atomic load per batch, not one per packet, and a batch never straddles
+// two FIB generations.
 type LPMLookup struct {
 	click.Base
 	Table  lpm.Engine
+	live   *lpm.LiveTable // non-nil iff Table is a live FIB
 	misses uint64
 }
 
 // NewLPMLookup wraps a route table.
-func NewLPMLookup(table lpm.Engine) *LPMLookup { return &LPMLookup{Table: table} }
+func NewLPMLookup(table lpm.Engine) *LPMLookup {
+	l := &LPMLookup{Table: table}
+	if live, ok := table.(*lpm.LiveTable); ok {
+		l.live = live
+	}
+	return l
+}
 
 // InPorts reports 1.
 func (l *LPMLookup) InPorts() int { return 1 }
@@ -217,8 +229,15 @@ func (l *LPMLookup) PushBatch(ctx *click.Context, _ int, b *pkt.Batch) {
 		return
 	}
 	ctx.Charge(hw.RouteExtraCycles() * float64(n))
+	table := l.Table
+	if l.live != nil {
+		// Pin one complete FIB snapshot for the whole batch: a single
+		// atomic load, and concurrent route churn can't split the batch
+		// across generations.
+		table = l.live.Load()
+	}
 	for i, p := range b.Packets() {
-		hop := l.Table.Lookup(p.IPv4().DstUint32())
+		hop := table.Lookup(p.IPv4().DstUint32())
 		if hop == lpm.NoRoute {
 			l.misses++
 			l.Out(ctx, 1, b.Take(i))

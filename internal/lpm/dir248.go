@@ -27,6 +27,7 @@ type Dir248 struct {
 	tblLong [][]uint32 // each block has 256 entries, same value encoding as leaves
 	routes  map[prefixKey]int
 	dirty   bool
+	n       int // route count for snapshots built without a routes map
 }
 
 type prefixKey struct {
@@ -59,7 +60,12 @@ func (d *Dir248) Insert(p netip.Prefix, nextHop int) error {
 }
 
 // Len reports the number of installed prefixes.
-func (d *Dir248) Len() int { return len(d.routes) }
+func (d *Dir248) Len() int {
+	if d.routes == nil {
+		return d.n // read-only snapshot published by a LiveTable
+	}
+	return len(d.routes)
+}
 
 // Freeze rebuilds the lookup arrays if needed. Lookup calls it
 // automatically, but callers that share the engine across goroutines must
@@ -72,14 +78,18 @@ func (d *Dir248) Freeze() {
 	d.dirty = false
 }
 
-func (d *Dir248) rebuild() {
+func (d *Dir248) rebuild() { d.rebuildFrom(d.routes) }
+
+// rebuildFrom repaints the lookup arrays from an arbitrary route map —
+// the shared core of Freeze and of LiveTable's full-rebuild commits.
+func (d *Dir248) rebuildFrom(routes map[prefixKey]int) {
 	for i := range d.tbl24 {
 		d.tbl24[i] = 0
 	}
 	d.tblLong = d.tblLong[:0]
 
-	keys := make([]prefixKey, 0, len(d.routes))
-	for k := range d.routes {
+	keys := make([]prefixKey, 0, len(routes))
+	for k := range routes {
 		keys = append(keys, k)
 	}
 	// Ascending prefix length; ties in address order for determinism.
@@ -91,7 +101,7 @@ func (d *Dir248) rebuild() {
 	})
 
 	for _, k := range keys {
-		hop := uint32(d.routes[k]) + 1 // leaf encoding: hop+1, 0 = empty
+		hop := uint32(routes[k]) + 1 // leaf encoding: hop+1, 0 = empty
 		if k.bits <= 24 {
 			// Blocks are created only by >24-bit routes, which sort after
 			// every ≤24-bit route, so these entries are always leaves.
@@ -146,5 +156,5 @@ func (d *Dir248) MemoryFootprint() int {
 
 // String summarizes the table shape.
 func (d *Dir248) String() string {
-	return fmt.Sprintf("dir248{routes=%d, longBlocks=%d}", len(d.routes), len(d.tblLong))
+	return fmt.Sprintf("dir248{routes=%d, longBlocks=%d}", d.Len(), len(d.tblLong))
 }

@@ -1,0 +1,268 @@
+package lpm
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// LiveTable is an RCU-style live FIB: a Dir248 lookup table behind an
+// atomic generation pointer. Writers batch adds and withdraws, build a
+// complete replacement snapshot off to the side, and publish it with one
+// atomic store; readers load the current snapshot with one atomic read and
+// never observe a partial table. Old snapshots stay valid for readers that
+// already hold them — the Go garbage collector is the grace period.
+//
+// Writers are serialized by an internal mutex; any number of readers may
+// call Lookup / Load concurrently with a writer. A burst of updates
+// applied through one Update call costs one table build, not one per
+// route.
+//
+// Internally the writer keeps an authoritative Trie alongside the route
+// map. Small batches commit incrementally: the previous snapshot's tbl24
+// is cloned, second-level blocks are copied on write, and only the slot
+// ranges a changed prefix covers are repainted from the trie. Large
+// batches (or tables that accumulated too many orphaned blocks) fall back
+// to a full DIR-24-8 rebuild.
+type LiveTable struct {
+	mu        sync.Mutex // serializes writers
+	cur       atomic.Pointer[Dir248]
+	gen       atomic.Uint64
+	count     atomic.Int64
+	routes    map[prefixKey]int
+	trie      *Trie
+	longCount map[uint32]int // tbl24 slot -> number of >/24 routes inside it
+	orphans   int            // published blocks no slot references anymore
+}
+
+// Incremental-commit limits. A patch repaints one tbl24 slot per covered
+// /24 (a /16 change touches 256 slots, a /8 touches 65536); past
+// patchSlotLimit the full rebuild is cheaper and bounds worst-case commit
+// latency. orphanLimit caps dead second-level blocks kept alive by
+// copy-on-write before a compacting rebuild reclaims them.
+const (
+	patchSlotLimit = 1 << 18
+	orphanLimit    = 1 << 12
+)
+
+// NewLiveTable returns an empty live FIB at generation 0, optionally
+// preloaded with routes (one commit, generation 1, on any routes at all).
+// The error, if any, is the first rejected route.
+func NewLiveTable(routes ...Route) (*LiveTable, error) {
+	lt := &LiveTable{
+		routes:    make(map[prefixKey]int),
+		trie:      NewTrie(),
+		longCount: make(map[uint32]int),
+	}
+	lt.cur.Store(&Dir248{tbl24: make([]uint32, 1<<24)})
+	if len(routes) > 0 {
+		if _, err := lt.Update(routes, nil); err != nil {
+			return nil, err
+		}
+	}
+	return lt, nil
+}
+
+// Load returns the current published snapshot. The snapshot is immutable
+// and complete; hold it across a batch of lookups to pay the atomic load
+// once. Do not call Insert or Freeze on it.
+func (lt *LiveTable) Load() *Dir248 { return lt.cur.Load() }
+
+// Generation reports the number of published commits. It increases by
+// exactly one per effective Update, never decreases, and is 0 only before
+// the first commit.
+func (lt *LiveTable) Generation() uint64 { return lt.gen.Load() }
+
+// Len reports the number of installed prefixes.
+func (lt *LiveTable) Len() int { return int(lt.count.Load()) }
+
+// Lookup returns the next hop for dst in the current snapshot, or
+// NoRoute. It is safe from any goroutine at any time. Batch callers
+// should Load once and look up against the snapshot instead.
+func (lt *LiveTable) Lookup(dst uint32) int { return lt.cur.Load().Lookup(dst) }
+
+// Insert adds or replaces a single route, committing immediately. It
+// satisfies Engine; bursts should prefer Update, which commits the whole
+// batch in one table build.
+func (lt *LiveTable) Insert(p netip.Prefix, nextHop int) error {
+	_, err := lt.Update([]Route{{Prefix: p, NextHop: nextHop}}, nil)
+	return err
+}
+
+// Withdraw removes a single route, committing immediately. Withdrawing a
+// route that is not installed is a no-op.
+func (lt *LiveTable) Withdraw(p netip.Prefix) error {
+	_, err := lt.Update(nil, []netip.Prefix{p})
+	return err
+}
+
+// Routes lists the installed routes sorted by address then prefix length —
+// a stable order for admin APIs and tests.
+func (lt *LiveTable) Routes() []Route {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	out := make([]Route, 0, len(lt.routes))
+	for k, hop := range lt.routes {
+		a4 := [4]byte{byte(k.addr >> 24), byte(k.addr >> 16), byte(k.addr >> 8), byte(k.addr)}
+		out = append(out, Route{
+			Prefix:  netip.PrefixFrom(netip.AddrFrom4(a4), int(k.bits)),
+			NextHop: hop,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := out[i].Prefix.Addr(), out[j].Prefix.Addr()
+		if ai != aj {
+			return ai.Less(aj)
+		}
+		return out[i].Prefix.Bits() < out[j].Prefix.Bits()
+	})
+	return out
+}
+
+// liveChange is one validated element of an Update batch.
+type liveChange struct {
+	key prefixKey
+	hop int
+	add bool
+}
+
+// Update applies a batch of route adds and withdraws as one commit and
+// returns the generation now visible to readers. The whole batch is
+// validated before anything is applied — on error the table is unchanged.
+// Re-adding an identical route and withdrawing an absent one are no-ops;
+// a batch with no effective change publishes nothing and keeps the
+// generation.
+func (lt *LiveTable) Update(adds []Route, withdraws []netip.Prefix) (uint64, error) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+
+	changes := make([]liveChange, 0, len(adds)+len(withdraws))
+	for _, r := range adds {
+		addr, bits, err := validate(r.Prefix, r.NextHop)
+		if err != nil {
+			return lt.gen.Load(), err
+		}
+		changes = append(changes, liveChange{prefixKey{addr, int8(bits)}, r.NextHop, true})
+	}
+	for _, p := range withdraws {
+		addr, bits, err := validate(p, 0)
+		if err != nil {
+			return lt.gen.Load(), err
+		}
+		changes = append(changes, liveChange{key: prefixKey{addr, int8(bits)}})
+	}
+
+	// Apply to the writer-side authority (route map + trie), collecting
+	// the set of tbl24 slots whose painted state may have changed.
+	touched := make(map[uint32]struct{})
+	slots := 0
+	touch := func(k prefixKey) {
+		if k.bits > 24 {
+			if _, ok := touched[k.addr>>8]; !ok {
+				touched[k.addr>>8] = struct{}{}
+				slots++
+			}
+			return
+		}
+		base := k.addr >> 8
+		count := uint32(1) << (24 - k.bits)
+		slots += int(count) // estimate before dedup; only gates the rebuild fallback
+		if slots <= patchSlotLimit {
+			for i := uint32(0); i < count; i++ {
+				touched[base+i] = struct{}{}
+			}
+		}
+	}
+	dirty := false
+	for _, c := range changes {
+		a4 := [4]byte{byte(c.key.addr >> 24), byte(c.key.addr >> 16), byte(c.key.addr >> 8), byte(c.key.addr)}
+		p := netip.PrefixFrom(netip.AddrFrom4(a4), int(c.key.bits))
+		if c.add {
+			old, existed := lt.routes[c.key]
+			if existed && old == c.hop {
+				continue
+			}
+			lt.routes[c.key] = c.hop
+			lt.trie.Insert(p, c.hop)
+			if c.key.bits > 24 && !existed {
+				lt.longCount[c.key.addr>>8]++
+			}
+		} else {
+			if _, existed := lt.routes[c.key]; !existed {
+				continue
+			}
+			delete(lt.routes, c.key)
+			lt.trie.Remove(p)
+			if c.key.bits > 24 {
+				slot := c.key.addr >> 8
+				if lt.longCount[slot]--; lt.longCount[slot] == 0 {
+					delete(lt.longCount, slot)
+				}
+			}
+		}
+		dirty = true
+		touch(c.key)
+	}
+	if !dirty {
+		return lt.gen.Load(), nil
+	}
+
+	old := lt.cur.Load()
+	var snap *Dir248
+	if slots > patchSlotLimit || lt.orphans > orphanLimit {
+		snap = &Dir248{tbl24: make([]uint32, 1<<24), n: len(lt.routes)}
+		snap.rebuildFrom(lt.routes)
+		lt.orphans = 0
+	} else {
+		snap = lt.patch(old, touched)
+	}
+	lt.count.Store(int64(len(lt.routes)))
+	lt.cur.Store(snap)
+	return lt.gen.Add(1), nil
+}
+
+// patch builds the next snapshot incrementally: clone the previous tbl24,
+// share its second-level blocks, and repaint only the touched slots from
+// the authoritative trie. Blocks are never mutated in place — a touched
+// slot that needs one gets a freshly painted copy — so the previous
+// snapshot stays intact for readers still holding it.
+func (lt *LiveTable) patch(old *Dir248, touched map[uint32]struct{}) *Dir248 {
+	snap := &Dir248{
+		tbl24:   make([]uint32, 1<<24),
+		tblLong: append([][]uint32(nil), old.tblLong...),
+		n:       len(lt.routes),
+	}
+	copy(snap.tbl24, old.tbl24)
+	for s := range touched {
+		e := snap.tbl24[s]
+		if lt.longCount[s] == 0 {
+			// No >/24 route lives in this slot: every address in it
+			// shares one LPM answer, so one trie walk paints the leaf.
+			if e&dir248LongFlag != 0 {
+				lt.orphans++
+			}
+			snap.tbl24[s] = encodeLeaf(lt.trie.Lookup(s << 8))
+			continue
+		}
+		blk := make([]uint32, 256)
+		base := s << 8
+		for j := uint32(0); j < 256; j++ {
+			blk[j] = encodeLeaf(lt.trie.Lookup(base | j))
+		}
+		if e&dir248LongFlag != 0 {
+			snap.tblLong[e&^dir248LongFlag] = blk
+		} else {
+			snap.tbl24[s] = dir248LongFlag | uint32(len(snap.tblLong))
+			snap.tblLong = append(snap.tblLong, blk)
+		}
+	}
+	return snap
+}
+
+func encodeLeaf(hop int) uint32 {
+	if hop == NoRoute {
+		return 0
+	}
+	return uint32(hop) + 1
+}

@@ -1,0 +1,390 @@
+package lpm
+
+import (
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func mustPrefix(s string) netip.Prefix { return netip.MustParsePrefix(s) }
+
+// TestLiveTableBasic covers the single-writer surface: insert, replace,
+// withdraw, generation accounting, and no-op batches.
+func TestLiveTableBasic(t *testing.T) {
+	lt, err := NewLiveTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lt.Generation() != 0 || lt.Len() != 0 {
+		t.Fatalf("empty table: gen=%d len=%d", lt.Generation(), lt.Len())
+	}
+	if got := lt.Lookup(0x0a000001); got != NoRoute {
+		t.Fatalf("empty lookup = %d", got)
+	}
+
+	if err := lt.Insert(mustPrefix("10.0.0.0/16"), 3); err != nil {
+		t.Fatal(err)
+	}
+	if lt.Generation() != 1 || lt.Len() != 1 {
+		t.Fatalf("after insert: gen=%d len=%d", lt.Generation(), lt.Len())
+	}
+	if got := lt.Lookup(0x0a000001); got != 3 {
+		t.Fatalf("lookup = %d, want 3", got)
+	}
+
+	// Replacing with the identical route is a no-op commit.
+	if gen, err := lt.Update([]Route{{mustPrefix("10.0.0.0/16"), 3}}, nil); err != nil || gen != 1 {
+		t.Fatalf("identical re-add: gen=%d err=%v", gen, err)
+	}
+	// Withdrawing an absent route is a no-op too.
+	if gen, err := lt.Update(nil, []netip.Prefix{mustPrefix("192.168.0.0/24")}); err != nil || gen != 1 {
+		t.Fatalf("absent withdraw: gen=%d err=%v", gen, err)
+	}
+
+	// A mixed batch is one commit.
+	gen, err := lt.Update(
+		[]Route{{mustPrefix("10.1.0.0/24"), 7}, {mustPrefix("10.1.0.128/25"), 9}},
+		[]netip.Prefix{mustPrefix("10.0.0.0/16")},
+	)
+	if err != nil || gen != 2 {
+		t.Fatalf("batch: gen=%d err=%v", gen, err)
+	}
+	if got := lt.Lookup(0x0a000001); got != NoRoute {
+		t.Fatalf("withdrawn route still matches: %d", got)
+	}
+	if got := lt.Lookup(0x0a010001); got != 7 {
+		t.Fatalf("/24 lookup = %d, want 7", got)
+	}
+	if got := lt.Lookup(0x0a0100f0); got != 9 {
+		t.Fatalf("/25 lookup = %d, want 9", got)
+	}
+	if lt.Len() != 2 {
+		t.Fatalf("len = %d, want 2", lt.Len())
+	}
+
+	// Invalid batches leave the table untouched.
+	if _, err := lt.Update([]Route{{mustPrefix("10.2.0.0/16"), -5}}, nil); err == nil {
+		t.Fatal("negative next hop accepted")
+	}
+	if lt.Generation() != 2 || lt.Len() != 2 {
+		t.Fatalf("failed batch mutated table: gen=%d len=%d", lt.Generation(), lt.Len())
+	}
+
+	routes := lt.Routes()
+	if len(routes) != 2 || routes[0].Prefix != mustPrefix("10.1.0.0/24") || routes[1].Prefix != mustPrefix("10.1.0.128/25") {
+		t.Fatalf("Routes() = %v", routes)
+	}
+}
+
+// TestLiveTableMatchesTrie churns a LiveTable and an independent Trie with
+// the same deterministic add/withdraw stream and cross-checks every commit
+// against both the trie and a from-scratch Dir248 rebuild — the
+// correctness gate for the incremental patch path (leaf repaint, block
+// copy-on-write, block creation, and block orphaning all occur at this
+// size).
+func TestLiveTableMatchesTrie(t *testing.T) {
+	const rounds = 24
+	rng := rand.New(rand.NewSource(11))
+	pool := RandomTable(4096, 8, 17, true)
+
+	lt, err := NewLiveTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewTrie()
+	installed := make(map[netip.Prefix]int)
+
+	probe := func(round int) {
+		// Deterministic probes: route boundaries and random addresses.
+		full := NewDir248()
+		for p, hop := range installed {
+			if err := full.Insert(p, hop); err != nil {
+				t.Fatal(err)
+			}
+		}
+		full.Freeze()
+		snap := lt.Load()
+		prng := rand.New(rand.NewSource(int64(round)))
+		for i := 0; i < 4096; i++ {
+			dst := prng.Uint32()
+			want := ref.Lookup(dst)
+			if got := snap.Lookup(dst); got != want {
+				t.Fatalf("round %d: live lookup(%08x) = %d, trie says %d", round, dst, got, want)
+			}
+			if got := full.Lookup(dst); got != want {
+				t.Fatalf("round %d: rebuilt lookup(%08x) = %d, trie says %d", round, dst, got, want)
+			}
+		}
+		for _, r := range pool {
+			a4 := r.Prefix.Addr().As4()
+			dst := uint32(a4[0])<<24 | uint32(a4[1])<<16 | uint32(a4[2])<<8 | uint32(a4[3])
+			if got, want := snap.Lookup(dst), ref.Lookup(dst); got != want {
+				t.Fatalf("round %d: live lookup(%v) = %d, trie says %d", round, r.Prefix, got, want)
+			}
+		}
+		if lt.Len() != len(installed) {
+			t.Fatalf("round %d: len=%d, want %d", round, lt.Len(), len(installed))
+		}
+	}
+
+	for round := 0; round < rounds; round++ {
+		var adds []Route
+		var dels []netip.Prefix
+		for i := 0; i < 64; i++ {
+			r := pool[rng.Intn(len(pool))]
+			if _, ok := installed[r.Prefix]; ok && rng.Intn(2) == 0 {
+				dels = append(dels, r.Prefix)
+				delete(installed, r.Prefix)
+				ref.Remove(r.Prefix)
+			} else {
+				hop := rng.Intn(8)
+				adds = append(adds, Route{r.Prefix, hop})
+				installed[r.Prefix] = hop
+				if err := ref.Insert(r.Prefix, hop); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if _, err := lt.Update(adds, dels); err != nil {
+			t.Fatal(err)
+		}
+		probe(round)
+	}
+}
+
+// TestLiveTableFullRebuildFallback forces the wide-prefix path (a /8
+// covers 65536 tbl24 slots; a /0 covers all of them) past patchSlotLimit
+// and checks the rebuilt snapshot agrees with the trie.
+func TestLiveTableFullRebuildFallback(t *testing.T) {
+	lt, err := NewLiveTable(RandomTable(2048, 8, 23, false)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewTrie()
+	if err := Build(ref, RandomTable(2048, 8, 23, false)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nine /8s = 9*65536 slots > patchSlotLimit: must take full rebuild.
+	var wide []Route
+	for i := 0; i < 9; i++ {
+		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{byte(16 + i), 0, 0, 0}), 8)
+		wide = append(wide, Route{p, 5})
+		if err := ref.Insert(p, 5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := lt.Update(wide, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap := lt.Load()
+	prng := rand.New(rand.NewSource(29))
+	for i := 0; i < 1<<16; i++ {
+		dst := prng.Uint32()
+		if got, want := snap.Lookup(dst), ref.Lookup(dst); got != want {
+			t.Fatalf("lookup(%08x) = %d, trie says %d", dst, got, want)
+		}
+	}
+}
+
+// TestTrieRemove exercises the new withdraw path on the reference engine,
+// including pruning and nested prefixes.
+func TestTrieRemove(t *testing.T) {
+	tr := NewTrie()
+	routes := []Route{
+		{mustPrefix("10.0.0.0/8"), 1},
+		{mustPrefix("10.1.0.0/16"), 2},
+		{mustPrefix("10.1.2.0/24"), 3},
+		{mustPrefix("10.1.2.128/25"), 4},
+	}
+	if err := Build(tr, routes); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Remove(mustPrefix("10.1.0.0/16")) != true {
+		t.Fatal("remove of installed route reported false")
+	}
+	if tr.Remove(mustPrefix("10.1.0.0/16")) != false {
+		t.Fatal("double remove reported true")
+	}
+	if tr.Remove(mustPrefix("172.16.0.0/12")) != false {
+		t.Fatal("remove of absent route reported true")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("len = %d, want 3", tr.Len())
+	}
+	// 10.1.9.9 fell back to the /8 after the /16 withdraw.
+	if got := tr.Lookup(0x0a010909); got != 1 {
+		t.Fatalf("lookup after remove = %d, want 1", got)
+	}
+	// The more-specific routes under the removed /16 survive.
+	if got := tr.Lookup(0x0a010203); got != 3 {
+		t.Fatalf("nested /24 lost: %d", got)
+	}
+	if got := tr.Lookup(0x0a0102ff); got != 4 {
+		t.Fatalf("nested /25 lost: %d", got)
+	}
+	// Remove everything; the trie must go back to empty.
+	for _, p := range []string{"10.0.0.0/8", "10.1.2.0/24", "10.1.2.128/25"} {
+		if !tr.Remove(mustPrefix(p)) {
+			t.Fatalf("remove %s failed", p)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d, want 0", tr.Len())
+	}
+	if tr.root.child[0] != nil || tr.root.child[1] != nil {
+		t.Fatal("pruning left dangling branches")
+	}
+	if got := tr.Lookup(0x0a010203); got != NoRoute {
+		t.Fatalf("lookup on emptied trie = %d", got)
+	}
+}
+
+// TestLiveTableConcurrentChurn is the -race Lookup-during-swap stress:
+// reader goroutines hammer Lookup while a writer churns routes whose next
+// hop encodes the generation that installed them. Every lookup must
+// return either NoRoute (before the covering route's first commit — never
+// after) or a hop some commit actually published; within one Load()
+// snapshot every probe must agree, proving no reader ever sees a
+// half-painted table.
+func TestLiveTableConcurrentChurn(t *testing.T) {
+	lt, err := NewLiveTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The witness prefix: repainted every commit with hop = commit index.
+	witness := mustPrefix("10.0.0.0/16")
+	const witnessLo, witnessHi = uint32(0x0a000000), uint32(0x0a00ffff)
+
+	var commits atomic.Int64 // highest hop any commit installed
+	commits.Store(-1)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	const readers = 2
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// One snapshot per "batch": all probes inside it must agree.
+				// floor is read before the snapshot: any commit counted in
+				// it was published (cur.Store) before our Load, so the
+				// snapshot must carry a hop at least that new.
+				floor := commits.Load()
+				snap := lt.Load()
+				first := snap.Lookup(witnessLo + rng.Uint32()%(witnessHi-witnessLo))
+				for i := 0; i < 64; i++ {
+					dst := witnessLo + rng.Uint32()%(witnessHi-witnessLo)
+					got := snap.Lookup(dst)
+					if got != first {
+						t.Errorf("snapshot disagrees with itself: %d then %d — partial table", first, got)
+						return
+					}
+				}
+				if first == NoRoute {
+					if floor >= 0 {
+						t.Errorf("NoRoute observed after commit %d published", floor)
+						return
+					}
+					continue
+				}
+				if int64(first) < floor {
+					t.Errorf("stale hop %d: commit %d was already published before the load", first, floor)
+					return
+				}
+			}
+		}(int64(100 + r))
+	}
+
+	// Writer: each commit bumps the witness hop and churns background
+	// routes to keep the patch path honest.
+	noise := RandomTable(512, 8, 41, false)
+	// Keep noise clear of the witness /16 so it can't shadow it.
+	kept := noise[:0]
+	for _, r := range noise {
+		a4 := r.Prefix.Addr().As4()
+		if a4[0] == 10 && a4[1] == 0 {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	noise = kept
+	rng := rand.New(rand.NewSource(5))
+	for c := 0; c < 96; c++ {
+		adds := []Route{{witness, c}}
+		var dels []netip.Prefix
+		for i := 0; i < 8; i++ {
+			r := noise[rng.Intn(len(noise))]
+			if rng.Intn(2) == 0 {
+				adds = append(adds, Route{r.Prefix, rng.Intn(8)})
+			} else {
+				dels = append(dels, r.Prefix)
+			}
+		}
+		gen, err := lt.Update(adds, dels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gen == 0 {
+			t.Fatal("effective commit kept generation 0")
+		}
+		commits.Store(int64(c))
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestLiveTableGenerationMonotonic checks generations from a concurrent
+// observer never go backwards and land exactly at the commit count.
+func TestLiveTableGenerationMonotonic(t *testing.T) {
+	lt, err := NewLiveTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var bad atomic.Bool
+	go func() {
+		defer wg.Done()
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g := lt.Generation()
+			if g < last {
+				bad.Store(true)
+				return
+			}
+			last = g
+		}
+	}()
+	const commits = 100
+	for c := 0; c < commits; c++ {
+		p := mustPrefix(fmt.Sprintf("10.%d.%d.0/24", c/256, c%256))
+		if _, err := lt.Update([]Route{{p, c % 8}}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if bad.Load() {
+		t.Fatal("generation went backwards")
+	}
+	if g := lt.Generation(); g != commits {
+		t.Fatalf("generation = %d, want %d", g, commits)
+	}
+}

@@ -12,9 +12,16 @@
 //     obviously correct; the test suite cross-checks Dir248 against it on
 //     random route tables.
 //
-// Tables are built once and read by many cores concurrently, matching the
-// paper's workload (forwarding planes rebuild rarely, look up millions of
-// times per second). Mutating methods must not race with Lookup.
+// A bare Dir248 or Trie is built once and then read by many cores
+// concurrently, matching the paper's workload (forwarding planes rebuild
+// rarely, look up millions of times per second); their mutating methods
+// must not race with Lookup. For live route churn — production routers
+// eat continuous BGP-scale updates — wrap Dir248 in a LiveTable: an
+// RCU-style generation pointer whose writers build complete replacement
+// snapshots off to the side and publish them atomically, so inserts and
+// withdraws never stall a forwarding core and no Lookup ever observes a
+// partially built table. Readers hold a snapshot (Load) across a batch of
+// lookups and pay one atomic read per batch, not per packet.
 package lpm
 
 import (

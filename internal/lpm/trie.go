@@ -44,6 +44,40 @@ func (t *Trie) Insert(p netip.Prefix, nextHop int) error {
 	return nil
 }
 
+// Remove withdraws a route, pruning emptied branches so sustained churn
+// does not grow the trie without bound. It reports whether the prefix was
+// installed.
+func (t *Trie) Remove(p netip.Prefix) bool {
+	addr, bits, err := validate(p, 0)
+	if err != nil {
+		return false
+	}
+	// Record the path so emptied nodes can be unlinked on the way back.
+	path := make([]*trieNode, bits+1)
+	node := t.root
+	path[0] = node
+	for i := 0; i < bits; i++ {
+		node = node.child[(addr>>(31-i))&1]
+		if node == nil {
+			return false
+		}
+		path[i+1] = node
+	}
+	if !node.valid {
+		return false
+	}
+	node.valid = false
+	t.n--
+	for i := bits; i > 0; i-- {
+		n := path[i]
+		if n.valid || n.child[0] != nil || n.child[1] != nil {
+			break
+		}
+		path[i-1].child[(addr>>(32-i))&1] = nil
+	}
+	return true
+}
+
 // Lookup walks the trie remembering the deepest valid node.
 func (t *Trie) Lookup(dst uint32) int {
 	best := NoRoute

@@ -89,6 +89,15 @@ type Snapshot struct {
 	// one number the replan controller and operators watch.
 	Imbalance float64 `json:"imbalance"`
 
+	// FIBGeneration and FIBRoutes describe the live FIB at snapshot
+	// time — the number of committed route updates and the installed
+	// route count. Both are gauges on the FIB, not plan counters: they
+	// survive Reload/Replan (the FIB is shared across plan generations)
+	// and Delta keeps their current values. Zero when the pipeline has
+	// no live FIB bound.
+	FIBGeneration uint64 `json:"fib_generation,omitempty"`
+	FIBRoutes     int    `json:"fib_routes,omitempty"`
+
 	// Pool is the process packet pool's freelist health at snapshot
 	// time. Unlike the plan counters it is process-global: it does not
 	// reset at generation boundaries.

@@ -14,6 +14,13 @@
 // a placement must show up as a reviewed BENCH_placement.json update,
 // never silently.
 //
+// Two throughput gates run over the parsed benchmarks: the scaling-cliff
+// check (-monotone-tol) on the parallel Mpps curve, and the
+// churn-regression check (-churn-tol) comparing BenchmarkChurn's
+// live-route-churn Mpps against its idle-control-plane sibling — the
+// recorded updates/s metric is the sustained FIB write rate the
+// forwarding number was measured under.
+//
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkPlacement -benchmem . > out.txt
@@ -178,6 +185,67 @@ func checkMonotone(results []benchResult, tol float64) error {
 	return nil
 }
 
+// churnMode extracts the mode ("idle" or "live") and core count from a
+// benchmark name like "BenchmarkChurn/fib=1M/live/cores=2-8" (the
+// trailing -8 is the GOMAXPROCS suffix). Returns "", -1 otherwise.
+func churnMode(name string) (string, int) {
+	const prefix = "BenchmarkChurn/"
+	if !strings.HasPrefix(name, prefix) {
+		return "", -1
+	}
+	parts := strings.Split(name[len(prefix):], "/")
+	if len(parts) != 3 || !strings.HasPrefix(parts[2], "cores=") {
+		return "", -1
+	}
+	s := strings.TrimPrefix(parts[2], "cores=")
+	if i := strings.IndexByte(s, '-'); i >= 0 {
+		s = s[:i]
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil {
+		return "", -1
+	}
+	return parts[1], n
+}
+
+// checkChurn is the churn-regression gate: for every core count where
+// both BenchmarkChurn modes ran, forwarding under live route churn must
+// hold at least (1-tol)× the idle-control-plane Mpps. The tolerance
+// absorbs the writer's real CPU cost (each commit clones a 64 MB tbl24,
+// which on a small host competes with the forwarding cores); what it
+// must catch is a reader-side regression — any change that makes
+// lookups pay per-packet synchronization shows up as a collapse here,
+// not a percentage.
+func checkChurn(results []benchResult, tol float64) error {
+	idle := map[int]float64{}
+	live := map[int]float64{}
+	for _, r := range results {
+		mode, cores := churnMode(r.Name)
+		if cores < 0 {
+			continue
+		}
+		if v, ok := r.Metrics["Mpps"]; ok {
+			switch mode {
+			case "idle":
+				idle[cores] = v
+			case "live":
+				live[cores] = v
+			}
+		}
+	}
+	for cores, base := range idle {
+		cur, ok := live[cores]
+		if !ok {
+			continue
+		}
+		if floor := base * (1 - tol); cur < floor {
+			return fmt.Errorf("churn regression: %d-core forwarding dropped %.3f -> %.3f Mpps under route churn (floor %.3f at tolerance %.2f)",
+				cores, base, cur, floor, tol)
+		}
+	}
+	return nil
+}
+
 // placementConfig mirrors the BenchmarkPlacement workload (the
 // standard IP forwarding trunk with per-cause side branches) so the
 // calibration scores in the JSON describe the same graph the Mpps
@@ -294,10 +362,12 @@ func run() error {
 	outPath := flag.String("out", "BENCH_placement.json", "JSON file to write")
 	basePath := flag.String("baseline", "", "previous JSON to diff decisions against (fails on a decision change with unchanged inputs)")
 	monoTol := flag.Float64("monotone-tol", 0.15, "tolerated fractional Mpps drop when parallel cores double (scaling-cliff gate); negative disables")
+	churnTol := flag.Float64("churn-tol", 0.50, "tolerated fractional Mpps drop under live FIB churn vs the idle control plane (churn-regression gate); negative disables")
 	flag.Parse()
 
 	var doc output
 	monoErr := error(nil)
+	churnErr := error(nil)
 	if *benchPath != "" {
 		b, err := parseBench(*benchPath)
 		if err != nil {
@@ -306,6 +376,9 @@ func run() error {
 		doc.Benchmarks = collapseBest(b)
 		if *monoTol >= 0 {
 			monoErr = checkMonotone(doc.Benchmarks, *monoTol)
+		}
+		if *churnTol >= 0 {
+			churnErr = checkChurn(doc.Benchmarks, *churnTol)
 		}
 	}
 	for _, in := range sweepInputs() {
@@ -334,7 +407,10 @@ func run() error {
 	if diffErr != nil {
 		return diffErr
 	}
-	return monoErr
+	if monoErr != nil {
+		return monoErr
+	}
+	return churnErr
 }
 
 func main() {

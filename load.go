@@ -112,6 +112,14 @@ type Options struct {
 	// prebound resources persist across a swap: the same closure hands
 	// the same shared instances to the replacement graph.
 	Prebound func(chain int) map[string]Element
+	// FIB, when non-nil, binds the Click text's `fib` name to a live
+	// route table (see NewFIB): every chain gets an LPMLookup element
+	// reading through the shared FIB, one snapshot load per batch, and
+	// route updates through the same handle (or Pipeline.Routes()) reach
+	// the datapath without a reload. A `fib` entry returned by Prebound
+	// takes precedence. Like Prebound, the handle is inherited across
+	// Reload/Replan.
+	FIB *RouteAdmin
 	// Entry names the graph's entry element when auto-detection (the
 	// unique element with no incoming connections) is ambiguous.
 	Entry string
@@ -262,6 +270,9 @@ func merge(cur, next Options) Options {
 	if next.Prebound == nil {
 		next.Prebound = cur.Prebound
 	}
+	if next.FIB == nil {
+		next.FIB = cur.FIB
+	}
 	if next.Entry == "" {
 		next.Entry = cur.Entry
 	}
@@ -351,7 +362,27 @@ func Load(clickText string, opts Options) (*Pipeline, error) {
 // calibration. It returns the plan, the options with the decided
 // placement, the decision record, and the candidate measurements.
 func buildPlan(text string, opts Options) (*click.Plan, Options, string, []CalibrationResult, error) {
-	prog := click.ParseProgram(text, opts.Registry, opts.Prebound)
+	prebound := opts.Prebound
+	if opts.FIB != nil {
+		// Bind the shared live FIB to the `fib` name for every chain —
+		// unless the caller's Prebound already supplies one, which wins.
+		inner := prebound
+		fib := opts.FIB.engine()
+		prebound = func(chain int) map[string]Element {
+			var m map[string]Element
+			if inner != nil {
+				m = inner(chain)
+			}
+			if m == nil {
+				m = make(map[string]Element, 1)
+			}
+			if _, ok := m["fib"]; !ok {
+				m["fib"] = elements.NewLPMLookup(fib)
+			}
+			return m
+		}
+	}
+	prog := click.ParseProgram(text, opts.Registry, prebound)
 	prog.Entry = opts.Entry
 	var (
 		decision   string
@@ -473,6 +504,15 @@ func (p *Pipeline) Placement() PlanKind {
 	return p.plan.Kind()
 }
 
+// Steal reports whether the current plan runs with work stealing
+// enabled — the live value of Options.Steal, which the replan
+// controller may toggle (see ControllerConfig.StealEscalation).
+func (p *Pipeline) Steal() bool {
+	p.pmu.RLock()
+	defer p.pmu.RUnlock()
+	return p.opts.Steal
+}
+
 // Generation reports how many plan swaps (Reload/Replan) have been
 // installed; 0 is the plan Load built. Snapshot counters reset at each
 // generation boundary.
@@ -592,6 +632,16 @@ func (p *Pipeline) DOT(chain ...int) string {
 		return ""
 	}
 	return r.DOTTitled(fmt.Sprintf("%s plan, gen %d, chain %d", p.plan.Kind(), p.generation, c))
+}
+
+// Routes returns the live FIB handle the pipeline was loaded with
+// (Options.FIB), or nil when the pipeline binds its route table some
+// other way. The handle stays valid across Reload/Replan — the FIB is
+// inherited like Prebound — so route churn and plan swaps compose.
+func (p *Pipeline) Routes() *RouteAdmin {
+	p.pmu.RLock()
+	defer p.pmu.RUnlock()
+	return p.opts.FIB
 }
 
 // Plan exposes the underlying placement plan for advanced callers.

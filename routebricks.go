@@ -58,10 +58,21 @@
 //     placement of the current program the same way. cmd/rbrouter
 //     wires Reload to SIGHUP.
 //   - pipe.Snapshot() unifies observability: plan kind + generation,
-//     per-core counters, per-ring depth/capacity/backpressure, and
-//     per-element counters in one typed, JSON-ready value;
-//     Snapshot.Delta(prev) yields rates. cmd/rbrouter serves it on
-//     -stats-addr.
+//     per-core counters, per-ring depth/capacity/backpressure, live-FIB
+//     generation and route count, and per-element counters in one typed,
+//     JSON-ready value; Snapshot.Delta(prev) yields rates. cmd/rbrouter
+//     serves it on -stats-addr under the versioned /api/v1 admin API.
+//   - Options.FIB binds a live route table (NewFIB) to the Click name
+//     `fib`: an RCU generation-swapped DIR-24-8 engine whose routes can
+//     be added and withdrawn while every core forwards at full rate.
+//     Writers batch adds and withdraws into single commits
+//     (RouteAdmin.Update); readers pin one complete snapshot per packet
+//     batch, so a batch never straddles two generations and no reader
+//     ever observes a partially updated table. The handle is inherited
+//     across Reload and Replan like Prebound, and pipe.Routes() returns
+//     it for admin surfaces — cmd/rbrouter's /api/v1/routes is exactly
+//     that. An explicitly prebound `fib` instance still wins, preserving
+//     the old contract.
 //
 // The rest of the facade:
 //

@@ -1,0 +1,92 @@
+package routebricks
+
+import (
+	"net/netip"
+
+	"routebricks/internal/lpm"
+)
+
+// Route pairs an IPv4 prefix with a next-hop index, for bulk FIB loads
+// and route listings.
+type Route = lpm.Route
+
+// NoRoute is the next-hop value reported when no prefix covers an
+// address.
+const NoRoute = lpm.NoRoute
+
+// RouteAdmin is the control-plane handle on a live FIB: an RCU-style
+// DIR-24-8 table whose updates never stall forwarding. Writers batch
+// adds and withdraws into single commits; forwarding cores keep reading
+// the previous complete snapshot until the next one is published
+// atomically, so no lookup ever observes a partial table. All methods
+// are safe for concurrent use from any goroutine, including while the
+// pipeline forwards at full rate.
+//
+// Construct one with NewFIB, hand it to Load via Options.FIB (the Click
+// text's `fib` name binds to it automatically), and retrieve it later
+// with Pipeline.Routes(). Callers never touch internal/lpm.
+type RouteAdmin struct {
+	table *lpm.LiveTable
+}
+
+// NewFIB builds a live FIB, optionally preloaded with routes in one
+// commit. The error, if any, is the first rejected route (non-IPv4
+// prefix or out-of-range next hop).
+func NewFIB(routes ...Route) (*RouteAdmin, error) {
+	lt, err := lpm.NewLiveTable(routes...)
+	if err != nil {
+		return nil, err
+	}
+	return &RouteAdmin{table: lt}, nil
+}
+
+// Add installs or replaces one route and commits immediately. Bursts
+// should prefer Update, which commits the whole batch in one table
+// build.
+func (a *RouteAdmin) Add(prefix netip.Prefix, nextHop int) error {
+	return a.table.Insert(prefix, nextHop)
+}
+
+// Withdraw removes one route and commits immediately. Withdrawing a
+// route that is not installed is a no-op.
+func (a *RouteAdmin) Withdraw(prefix netip.Prefix) error {
+	return a.table.Withdraw(prefix)
+}
+
+// Update applies a batch of adds and withdraws as one commit — a burst
+// of updates costs one table build, not one per route — and returns the
+// FIB generation now visible to forwarding. The batch is validated
+// up front; on error nothing is applied.
+func (a *RouteAdmin) Update(adds []Route, withdraws []netip.Prefix) (uint64, error) {
+	return a.table.Update(adds, withdraws)
+}
+
+// List returns the installed routes sorted by address then prefix
+// length.
+func (a *RouteAdmin) List() []Route { return a.table.Routes() }
+
+// Len reports the number of installed routes.
+func (a *RouteAdmin) Len() int { return a.table.Len() }
+
+// Generation reports the number of committed FIB updates. It increases
+// by exactly one per effective commit and never decreases; Snapshot
+// reports the same value, so observers can tell which FIB a stats view
+// saw.
+func (a *RouteAdmin) Generation() uint64 { return a.table.Generation() }
+
+// Lookup resolves one address against the current FIB snapshot — the
+// admin-API mirror of what the datapath's LPMLookup element does per
+// packet. It returns NoRoute when nothing covers addr or addr is not
+// IPv4.
+func (a *RouteAdmin) Lookup(addr netip.Addr) int {
+	if !addr.Is4() {
+		return NoRoute
+	}
+	b := addr.As4()
+	dst := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	return a.table.Lookup(dst)
+}
+
+// engine exposes the underlying live table to the Load plumbing (the
+// prebound `fib` element reads through it per batch).
+func (a *RouteAdmin) engine() *lpm.LiveTable { return a.table }

@@ -34,6 +34,10 @@ func (p *Pipeline) Snapshot() Snapshot {
 		Drops:      plan.Drops() + p.drainDrops.Load(),
 		Rejected:   plan.Rejections(),
 	}
+	if fib := p.opts.FIB; fib != nil {
+		s.FIBGeneration = fib.Generation()
+		s.FIBRoutes = fib.Len()
+	}
 	gets, hits, puts, doublePuts := pkt.DefaultPool.Stats()
 	s.Pool = stats.PoolSnapshot{
 		Shards:     pkt.DefaultPool.Shards(),
