@@ -5,7 +5,7 @@ GO      ?= go
 COUNT   ?= 6
 BENCH   ?= .
 
-.PHONY: all build test vet bench bench-smoke bench-json
+.PHONY: all build test vet bench bench-smoke bench-json mesh-smoke
 
 all: vet build test
 
@@ -17,6 +17,14 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# End-to-end gate for the multi-process mesh: build rbrouter + rbmesh,
+# boot a 3-member cluster, kill one member mid-traffic, assert the
+# survivors converge and deliver post-failure traffic without loss,
+# then restart it and assert the rejoin. Drives only the public HTTP
+# surfaces — what an operator would use.
+mesh-smoke:
+	$(GO) run ./internal/tools/meshsmoke
 
 # benchstat-friendly output: fixed benchtime, repeated counts, no tests.
 bench:

@@ -624,8 +624,8 @@ func runChurn(b *testing.B, live bool, cores int) {
 				}
 				present = !present
 				ops.Add(uint64(len(churn)))
-				// Paced, not flooded: each commit clones the 64 MB tbl24 and
-				// retires the old one to the GC, so an unthrottled writer
+				// Paced, not flooded: each commit clones the touched tbl24
+				// pages and retires them to the GC, so an unthrottled writer
 				// measures allocator contention, not the read path. Four
 				// commits a second is ~1k route updates/s sustained — far
 				// beyond BGP churn — while leaving the forwarding cores

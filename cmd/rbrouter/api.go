@@ -13,6 +13,7 @@ package main
 //	POST   /api/v1/routes      batch add/withdraw, one FIB commit
 //	DELETE /api/v1/routes      withdraw one prefix (?prefix= or JSON body)
 //	POST   /api/v1/replan      re-decide every node's placement now
+//	GET    /api/v1/mesh        membership table + heartbeat RTTs (mesh mode only)
 
 import (
 	"encoding/json"
@@ -21,6 +22,7 @@ import (
 	"net/netip"
 
 	"routebricks"
+	"routebricks/internal/mesh"
 )
 
 // errorEnvelope is the JSON error shape of every non-2xx API response.
@@ -87,9 +89,18 @@ type controllerDoc struct {
 
 // newAdminMux builds the -stats-addr HTTP surface. replanAll, when
 // non-nil, is the POST /api/v1/replan action (re-deciding every node's
-// placement); fib is the cluster's shared live FIB.
-func newAdminMux(nodes []*node, fib *routebricks.RouteAdmin, replanAll func() error) *http.ServeMux {
+// placement); fib is the cluster's shared live FIB. meshCtrl, when
+// non-nil (mesh mode), adds GET /api/v1/mesh: the member's view of the
+// cluster — per-peer state and heartbeat RTT, incarnations, and the
+// re-stripe generation each member advertises.
+func newAdminMux(nodes []*node, fib *routebricks.RouteAdmin, replanAll func() error, meshCtrl *mesh.Node) *http.ServeMux {
 	mux := http.NewServeMux()
+
+	if meshCtrl != nil {
+		mux.HandleFunc("/api/v1/mesh", methodCheck(http.MethodGet, func(w http.ResponseWriter, _ *http.Request) {
+			writeJSON(w, http.StatusOK, meshCtrl.Status())
+		}))
+	}
 
 	stats := func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, clusterSnapshot(nodes))

@@ -39,7 +39,7 @@ func apiFixture(t *testing.T) (*httptest.Server, *routebricks.RouteAdmin, *int) 
 		nodes[i] = nd
 	}
 	replans := 0
-	srv := httptest.NewServer(newAdminMux(nodes, fib, func() error { replans++; return nil }))
+	srv := httptest.NewServer(newAdminMux(nodes, fib, func() error { replans++; return nil }, nil))
 	t.Cleanup(srv.Close)
 	return srv, fib, &replans
 }

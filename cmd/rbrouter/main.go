@@ -63,7 +63,6 @@ import (
 	"fmt"
 	"net"
 	"net/http"
-	"net/netip"
 	"os"
 	"os/signal"
 	"runtime"
@@ -74,6 +73,7 @@ import (
 
 	"routebricks"
 	"routebricks/internal/click"
+	"routebricks/internal/cluster"
 	"routebricks/internal/elements"
 	"routebricks/internal/exec"
 	"routebricks/internal/pcap"
@@ -125,6 +125,14 @@ type node struct {
 	transit *click.Plan
 	ctrl    *routebricks.Controller // adaptive replan watcher (-replan-auto)
 
+	// live is the current membership vector in mesh mode (nil in the
+	// single-process demo, where every peer is always up). It is read by
+	// prebound when a Reload re-creates the VLB balancers, so a reload
+	// under the drain barrier re-stripes the spread matrix against the
+	// members that are actually alive.
+	liveMu sync.Mutex
+	live   []bool
+
 	// Batch-aware UDP egress: datapath cores enqueue frames into
 	// per-destination rings; one writer goroutine per destination pays
 	// the WriteToUDP syscalls off the datapath core.
@@ -143,6 +151,8 @@ type node struct {
 	rxDrops   atomic.Uint64
 	txBatches atomic.Uint64 // batches flushed by egress writers
 	txStalls  atomic.Uint64 // egress backpressure stalls (ring full, datapath waited)
+	txDrained atomic.Uint64 // frames flushed from tx rings on shutdown/re-stripe (accounted, not lost)
+	restripes atomic.Uint64 // VLB re-stripe generation (mesh mode)
 }
 
 // txQueue carries egress frames from datapath cores to one writer
@@ -156,6 +166,10 @@ type txQueue struct {
 	ring *exec.Ring
 	conn *net.UDPConn
 	addr *net.UDPAddr
+	// dead marks the destination as declared dead by the failure
+	// detector: the writer recycles queued frames (counted as drained)
+	// instead of blackholing them on the wire. Cleared on rejoin.
+	dead atomic.Bool
 }
 
 func (q *txQueue) push(p *pkt.Packet) bool {
@@ -194,6 +208,14 @@ func (nd *node) runWriter(q *txQueue) {
 			continue
 		}
 		idle = 0
+		if q.dead.Load() {
+			// Destination declared dead: recycling beats blackholing —
+			// every in-flight frame shows up in tx_drained instead of
+			// silently vanishing into a closed socket.
+			shard.PutBatch(batch)
+			nd.txDrained.Add(uint64(n))
+			continue
+		}
 		for _, p := range batch.Packets() {
 			if p == nil {
 				continue
@@ -202,6 +224,12 @@ func (nd *node) runWriter(q *txQueue) {
 		}
 		shard.PutBatch(batch)
 		nd.txBatches.Add(1)
+		if nd.txStop.Load() {
+			// Graceful shutdown: frames flushed after Stop are the drain —
+			// they reach the wire, and the count proves nothing was lost
+			// in the rings.
+			nd.txDrained.Add(uint64(n))
+		}
 	}
 }
 
@@ -240,10 +268,39 @@ func (nd *node) prebound(flowlets bool, chain int) map[string]routebricks.Elemen
 			LinkCapBps:  1e9,
 			Flowlets:    flowlets,
 			Seed:        int64(nd.id)*64 + int64(chain) + 1,
+			Live:        nd.currentLive(),
 		})},
 		"badhdr":    countDrop(&nd.hdrDrops),
 		"badttl":    countDrop(&nd.hdrDrops),
 		"missroute": countDrop(&nd.routeMiss),
+	}
+}
+
+// currentLive snapshots the membership vector for a balancer being
+// built (nil = everyone up, the demo default).
+func (nd *node) currentLive() []bool {
+	nd.liveMu.Lock()
+	defer nd.liveMu.Unlock()
+	if nd.live == nil {
+		return nil
+	}
+	return append([]bool(nil), nd.live...)
+}
+
+// setLive installs a new membership vector and flips the per-peer
+// writer queues across the dead boundary: a dead peer's queue drains
+// (frames recycled and counted) until the peer rejoins. The balancers
+// pick the vector up at the next Reload — re-striping is a reload under
+// the drain barrier, not a live mutation of a running balancer.
+func (nd *node) setLive(live []bool) {
+	nd.liveMu.Lock()
+	nd.live = append([]bool(nil), live...)
+	nd.liveMu.Unlock()
+	for j, q := range nd.txq {
+		if q == nil || j >= len(live) {
+			continue
+		}
+		q.dead.Store(!live[j])
 	}
 }
 
@@ -300,6 +357,13 @@ func newNode(id, n int, fib *routebricks.RouteAdmin, cfgText string, flowlets bo
 	if err != nil {
 		return nil, err
 	}
+	return newNodeOnConns(id, n, ext, intc, fib, cfgText, flowlets, cores, kind, steal)
+}
+
+// newNodeOnConns builds a node's datapath on caller-bound sockets — the
+// single-process demo binds ephemeral loopback ports, mesh mode binds
+// the addresses the topology file assigns this member.
+func newNodeOnConns(id, n int, ext, intc *net.UDPConn, fib *routebricks.RouteAdmin, cfgText string, flowlets bool, cores int, kind click.PlanKind, steal bool) (*node, error) {
 	// Deep kernel receive buffers: injection is bursty and a pipelined
 	// datapath on an oversubscribed host drains slowly, so the default
 	// rmem can overflow invisibly before the reader ever runs.
@@ -309,6 +373,7 @@ func newNode(id, n int, fib *routebricks.RouteAdmin, cfgText string, flowlets bo
 		id: id, n: n, ext: ext, int_: intc,
 		peers: make([]*net.UDPAddr, n),
 	}
+	var err error
 
 	// The ingress datapath: the Click program, loaded and placed. The
 	// graph is instantiated once per chain — a parallel plan clones the
@@ -445,6 +510,11 @@ func (nd *node) egress(p *pkt.Packet) {
 func (nd *node) start() error {
 	// Egress writers first, so the datapath never hits a cold queue.
 	nd.sinkq = &txQueue{ring: exec.NewRing(4096), conn: nd.ext, addr: nd.sink}
+	if nd.sink == nil {
+		// No collector configured (a mesh with no sink): egress frames
+		// are recycled and accounted rather than written to a nil addr.
+		nd.sinkq.dead.Store(true)
+	}
 	nd.wwg.Add(1)
 	go nd.runWriter(nd.sinkq)
 	nd.txq = make([]*txQueue, nd.n)
@@ -506,6 +576,8 @@ func run() error {
 		pcapPath   = flag.String("pcap", "", "capture egress traffic to this pcap file")
 		statsAddr  = flag.String("stats-addr", "", "serve the versioned admin API (stats, controller, live FIB routes, replan) on this HTTP address under /api/v1")
 		steal      = flag.Bool("steal", false, "let idle datapath cores steal batches from overloaded siblings' input rings (trades flow affinity for utilization)")
+		meshTopo   = flag.String("mesh", "", "run as ONE member of a multi-process mesh defined by this topology file (see cmd/rbmesh); requires -mesh-id")
+		meshID     = flag.Int("mesh-id", -1, "this process's member id in the -mesh topology")
 	)
 	flag.Parse()
 	cfgText := defaultConfig
@@ -524,23 +596,18 @@ func run() error {
 		fmt.Print(pipe.DOT())
 		return nil
 	}
-	if *nNodes < 2 || *nNodes > 64 {
-		return fmt.Errorf("nodes must be in [2,64]")
-	}
 	if *cores < 1 || *cores > 64 {
 		return fmt.Errorf("cores must be in [1,64]")
 	}
-	var kind click.PlanKind
-	autoPlace := false
-	switch *placement {
-	case "parallel":
-		kind = click.Parallel
-	case "pipelined":
-		kind = click.Pipelined
-	case "auto":
-		autoPlace = true // resolved below, once the FIB exists
-	default:
-		return fmt.Errorf("placement must be parallel, pipelined, or auto, got %q", *placement)
+	kind, autoPlace, err := parsePlacement(*placement)
+	if err != nil {
+		return err
+	}
+	if *meshTopo != "" {
+		return runMesh(*meshTopo, *meshID, cfgText, *flowlets, *cores, kind, autoPlace, *steal)
+	}
+	if *nNodes < 2 || *nNodes > 64 {
+		return fmt.Errorf("nodes must be in [2,64]")
 	}
 	var capture *pcap.Writer
 	if *pcapPath != "" {
@@ -558,12 +625,7 @@ func run() error {
 	// Every node's LPMLookup snapshots this table per batch, so route
 	// changes posted to /api/v1/routes reach all datapath cores without
 	// touching the running plans.
-	seed := make([]routebricks.Route, *nNodes)
-	for d := 0; d < *nNodes; d++ {
-		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(d), 0, 0}), 16)
-		seed[d] = routebricks.Route{Prefix: p, NextHop: d}
-	}
-	fib, err := routebricks.NewFIB(seed...)
+	fib, err := routebricks.NewFIB(cluster.SeedRoutes(*nNodes)...)
 	if err != nil {
 		return err
 	}
@@ -702,7 +764,7 @@ func run() error {
 			}
 			return nil
 		}
-		srv := &http.Server{Handler: newAdminMux(nodes, fib, replanAll)}
+		srv := &http.Server{Handler: newAdminMux(nodes, fib, replanAll, nil)}
 		go srv.Serve(ln)
 		defer srv.Close()
 		fmt.Printf("admin API: http://%s/api/v1/{stats,controller,routes,replan} (/stats is a deprecated alias)\n", ln.Addr())
@@ -738,16 +800,23 @@ func run() error {
 
 	// Injector: flows aimed at node prefixes, round-robin over input
 	// nodes, paced at the requested rate.
-	var pool []netip.Addr
-	for d := 0; d < *nNodes; d++ {
-		for h := 0; h < 8; h++ {
-			pool = append(pool, netip.AddrFrom4([4]byte{10, byte(d), byte(h), 1}))
-		}
-	}
-	src := trafficgen.New(trafficgen.Config{Seed: 1, Sizes: trafficgen.Fixed(128), DstAddrs: pool})
+	src := trafficgen.New(trafficgen.Config{Seed: 1, Sizes: trafficgen.Fixed(128), DstAddrs: cluster.DestPool(*nNodes, 8)})
 	interval := time.Second / time.Duration(*rate)
+	// SIGTERM/SIGINT stops injection early but still drains: the writers
+	// flush every queued frame (counted in tx_drained) before the report.
+	term := make(chan os.Signal, 1)
+	signal.Notify(term, syscall.SIGTERM, os.Interrupt)
+	defer signal.Stop(term)
 	start := time.Now()
-	for i := 0; i < *packets; i++ {
+	injected, stopping := 0, false
+	for i := 0; i < *packets && !stopping; i++ {
+		select {
+		case <-term:
+			fmt.Println("rbrouter: signal received, draining egress queues")
+			stopping = true
+			continue
+		default:
+		}
 		p := src.Next()
 		payload := p.L4Payload()
 		seq := p.SeqNo
@@ -762,6 +831,7 @@ func run() error {
 		if _, err := collector.WriteToUDP(p.Data, in.ext.LocalAddr().(*net.UDPAddr)); err != nil {
 			return err
 		}
+		injected++
 		if i%8 == 7 {
 			time.Sleep(8 * interval) // pace in small bursts; Sleep granularity is coarse
 		}
@@ -773,60 +843,51 @@ func run() error {
 		nd.shutdown()
 	}
 
-	var forwarded, egressed, miss, hdr, rxd uint64
+	var forwarded, egressed, miss, hdr, rxd, drained uint64
 	for _, nd := range nodes {
 		forwarded += nd.forwarded.Load()
 		egressed += nd.egressed.Load()
 		miss += nd.routeMiss.Load()
 		hdr += nd.hdrDrops.Load()
 		rxd += nd.rxDrops.Load()
+		drained += nd.txDrained.Load()
 	}
 	fmt.Printf("delivered %d/%d packets in %v (%.0f pps through the mesh)\n",
-		received.Load(), *packets, elapsed.Round(time.Millisecond),
+		received.Load(), injected, elapsed.Round(time.Millisecond),
 		float64(received.Load())/elapsed.Seconds())
-	fmt.Printf("internal forwards: %d, route misses: %d, header drops: %d, rx-ring drops: %d\n",
-		forwarded, miss, hdr, rxd)
+	fmt.Printf("internal forwards: %d, route misses: %d, header drops: %d, rx-ring drops: %d, shutdown-drained: %d\n",
+		forwarded, miss, hdr, rxd, drained)
 	fmt.Printf("reordering: %s\n", meter)
-	if received.Load() < uint64(*packets)*95/100 {
+	if received.Load() < uint64(injected)*95/100 {
 		return fmt.Errorf("lost more than 5%% of packets")
 	}
 	return nil
 }
 
 // nodeSnapshot is one node's slice of the -stats-addr JSON document:
-// the library's unified ingress Snapshot plus the node's socket-level
-// counters (which live outside the pipeline).
+// the shared stats.NodeStats wire shape (rbmesh decodes exactly that
+// when it aggregates member snapshots) plus process-local extras the
+// wire type does not carry — controller state, which cannot live in
+// internal/stats without an import cycle through the facade.
 type nodeSnapshot struct {
-	ID             int                          `json:"id"`
-	Ingress        routebricks.Snapshot         `json:"ingress"`
-	Controller     *routebricks.ControllerState `json:"controller,omitempty"`
-	TransitQueued  int                          `json:"transit_queued"`
-	TransitPackets uint64                       `json:"transit_packets"`
-	Forwarded      uint64                       `json:"forwarded"`
-	Egressed       uint64                       `json:"egressed"`
-	RouteMisses    uint64                       `json:"route_misses"`
-	HeaderDrops    uint64                       `json:"header_drops"`
-	RxDrops        uint64                       `json:"rx_drops"`
-	TxBatches      uint64                       `json:"tx_batches"`
-	TxStalls       uint64                       `json:"tx_stalls"`
+	stats.NodeStats
+	Controller *routebricks.ControllerState `json:"controller,omitempty"`
 }
 
-func clusterSnapshot(nodes []*node) []nodeSnapshot {
-	out := make([]nodeSnapshot, len(nodes))
-	for i, nd := range nodes {
-		var transitPkts uint64
-		for _, s := range nd.transit.Stats() {
-			transitPkts += s.Packets()
-		}
-		var ctrlState *routebricks.ControllerState
-		if nd.ctrl != nil {
-			st := nd.ctrl.State()
-			ctrlState = &st
-		}
-		out[i] = nodeSnapshot{
+func (nd *node) snapshot() nodeSnapshot {
+	var transitPkts uint64
+	for _, s := range nd.transit.Stats() {
+		transitPkts += s.Packets()
+	}
+	var ctrlState *routebricks.ControllerState
+	if nd.ctrl != nil {
+		st := nd.ctrl.State()
+		ctrlState = &st
+	}
+	return nodeSnapshot{
+		NodeStats: stats.NodeStats{
 			ID:             nd.id,
 			Ingress:        nd.ingress.Snapshot(),
-			Controller:     ctrlState,
 			TransitQueued:  nd.transit.Queued(),
 			TransitPackets: transitPkts,
 			Forwarded:      nd.forwarded.Load(),
@@ -836,9 +897,33 @@ func clusterSnapshot(nodes []*node) []nodeSnapshot {
 			RxDrops:        nd.rxDrops.Load(),
 			TxBatches:      nd.txBatches.Load(),
 			TxStalls:       nd.txStalls.Load(),
-		}
+			TxDrained:      nd.txDrained.Load(),
+			Restripes:      nd.restripes.Load(),
+		},
+		Controller: ctrlState,
+	}
+}
+
+func clusterSnapshot(nodes []*node) []nodeSnapshot {
+	out := make([]nodeSnapshot, len(nodes))
+	for i, nd := range nodes {
+		out[i] = nd.snapshot()
 	}
 	return out
+}
+
+// parsePlacement maps the -placement flag to a plan kind; auto is
+// resolved later by calibration, once a FIB exists to probe against.
+func parsePlacement(s string) (click.PlanKind, bool, error) {
+	switch s {
+	case "parallel":
+		return click.Parallel, false, nil
+	case "pipelined":
+		return click.Pipelined, false, nil
+	case "auto":
+		return click.Parallel, true, nil
+	}
+	return 0, false, fmt.Errorf("placement must be parallel, pipelined, or auto, got %q", s)
 }
 
 // describeDecision renders an auto-placement probe's outcome for the

@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"net/netip"
+
+	"routebricks/internal/lpm"
+)
+
+// The cluster-wide addressing convention, shared by the simulator, the
+// UDP-mesh rbrouter, and the rbmesh launcher: node d owns 10.d.0.0/16,
+// so a packet's destination decides its output node and every component
+// (FIB seeding, traffic generation, delivery accounting) agrees on who
+// owns what without configuration.
+
+// NodePrefix is the /16 owned by node d under the 10.d.0.0/16
+// convention.
+func NodePrefix(d int) netip.Prefix {
+	return netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(d), 0, 0}), 16)
+}
+
+// NodeOwnedAddr returns host number host inside node d's prefix.
+func NodeOwnedAddr(d int, host uint16) netip.Addr {
+	return netip.AddrFrom4([4]byte{10, byte(d), byte(host >> 8), byte(host)})
+}
+
+// SeedRoutes builds the base FIB for an n-node cluster: one route per
+// node prefix, next hop = owning node. Every deployment seeds its live
+// table with exactly this set as generation 1.
+func SeedRoutes(n int) []lpm.Route {
+	routes := make([]lpm.Route, n)
+	for d := 0; d < n; d++ {
+		routes[d] = lpm.Route{Prefix: NodePrefix(d), NextHop: d}
+	}
+	return routes
+}
+
+// DestPool returns perNode destination addresses inside every node's
+// prefix — the address pool traffic generators aim flows at so load
+// spreads across all output nodes.
+func DestPool(n, perNode int) []netip.Addr {
+	pool := make([]netip.Addr, 0, n*perNode)
+	for d := 0; d < n; d++ {
+		for h := 0; h < perNode; h++ {
+			pool = append(pool, NodeOwnedAddr(d, uint16(h)<<8|1))
+		}
+	}
+	return pool
+}

@@ -170,11 +170,7 @@ func New(cfg Config) (*Cluster, error) {
 	// The FIB is a live table seeded as one batched commit: node prefixes
 	// plus filler routes land as generation 1, and experiment drivers can
 	// churn routes mid-simulation through Table().
-	routes := make([]lpm.Route, 0, cfg.Nodes+cfg.ExtraRoutes)
-	for d := 0; d < cfg.Nodes; d++ {
-		p := netip.PrefixFrom(netip.AddrFrom4([4]byte{10, byte(d), 0, 0}), 16)
-		routes = append(routes, lpm.Route{Prefix: p, NextHop: d})
-	}
+	routes := append(make([]lpm.Route, 0, cfg.Nodes+cfg.ExtraRoutes), SeedRoutes(cfg.Nodes)...)
 	if cfg.ExtraRoutes > 0 {
 		for i, r := range lpm.RandomTable(cfg.ExtraRoutes, cfg.Nodes, cfg.Seed+1, false) {
 			// Keep filler routes out of the 10/8 block so node prefixes
@@ -222,7 +218,7 @@ func (c *Cluster) splitFactor() int {
 
 // NodeAddr returns an address owned by node d (for building workloads).
 func (c *Cluster) NodeAddr(d int, host uint16) netip.Addr {
-	return netip.AddrFrom4([4]byte{10, byte(d), byte(host >> 8), byte(host)})
+	return NodeOwnedAddr(d, host)
 }
 
 // Inject presents packet p on node's external wire at virtual time at.

@@ -19,11 +19,17 @@ import (
 //	bit 31       — 0: bits 0..30 are a next-hop value (offset by 1, 0 = empty)
 //	               1: bits 0..30 index a tblLong block
 //
+// The first level is chunked: 2^8 pages of 2^16 entries each, indexed by
+// the top 8 address bits. A nil page reads as all-empty, so sparse tables
+// cost nothing for address space they don't cover, and LiveTable commits
+// share every untouched page between generations instead of cloning the
+// whole 64 MB array (copy-on-write at page granularity).
+//
 // Construction: prefixes are inserted in ascending length order so that
 // more-specific routes overwrite less-specific ranges, the standard
 // offline build. Insert after Freeze rebuilds lazily.
 type Dir248 struct {
-	tbl24   []uint32
+	tbl24   [][]uint32 // tbl24Pages pages × tbl24PageSize entries; nil = empty
 	tblLong [][]uint32 // each block has 256 entries, same value encoding as leaves
 	routes  map[prefixKey]int
 	dirty   bool
@@ -35,16 +41,53 @@ type prefixKey struct {
 	bits int8
 }
 
-const dir248LongFlag = uint32(1) << 31
+const (
+	dir248LongFlag = uint32(1) << 31
 
-// NewDir248 returns an empty DIR-24-8 table. The first-level table is
-// allocated eagerly (64 MB of uint32s — the same space/time trade the
-// original hardware scheme makes).
+	// tbl24 chunking: page index = slot >> tbl24PageBits (the address's
+	// top 8 bits), offset = slot & tbl24PageMask.
+	tbl24PageBits = 16
+	tbl24PageSize = 1 << tbl24PageBits
+	tbl24Pages    = 1 << (24 - tbl24PageBits)
+	tbl24PageMask = tbl24PageSize - 1
+)
+
+// NewDir248 returns an empty DIR-24-8 table. Pages of the first-level
+// table are allocated as routes paint them (a full table costs the same
+// 64 MB of uint32s the original hardware scheme budgets).
 func NewDir248() *Dir248 {
 	return &Dir248{
-		tbl24:  make([]uint32, 1<<24),
+		tbl24:  make([][]uint32, tbl24Pages),
 		routes: make(map[prefixKey]int),
 	}
+}
+
+// newDir248Snap allocates the page-pointer array only — the skeleton
+// LiveTable commits and rebuilds fill in.
+func newDir248Snap() *Dir248 {
+	return &Dir248{tbl24: make([][]uint32, tbl24Pages)}
+}
+
+// slot24 reads one tbl24 slot; a nil page is all-empty.
+func (d *Dir248) slot24(slot uint32) uint32 {
+	pg := d.tbl24[slot>>tbl24PageBits]
+	if pg == nil {
+		return 0
+	}
+	return pg[slot&tbl24PageMask]
+}
+
+// setSlot24 writes one tbl24 slot, materializing its page on first write.
+func (d *Dir248) setSlot24(slot, v uint32) {
+	pg := d.tbl24[slot>>tbl24PageBits]
+	if pg == nil {
+		if v == 0 {
+			return // writing empty into an empty page: nothing to materialize
+		}
+		pg = make([]uint32, tbl24PageSize)
+		d.tbl24[slot>>tbl24PageBits] = pg
+	}
+	pg[slot&tbl24PageMask] = v
 }
 
 // Insert adds or replaces a route. The table is rebuilt lazily on the next
@@ -84,7 +127,7 @@ func (d *Dir248) rebuild() { d.rebuildFrom(d.routes) }
 // the shared core of Freeze and of LiveTable's full-rebuild commits.
 func (d *Dir248) rebuildFrom(routes map[prefixKey]int) {
 	for i := range d.tbl24 {
-		d.tbl24[i] = 0
+		d.tbl24[i] = nil // drop every page; repainting materializes what's needed
 	}
 	d.tblLong = d.tblLong[:0]
 
@@ -108,11 +151,11 @@ func (d *Dir248) rebuildFrom(routes map[prefixKey]int) {
 			base := k.addr >> 8
 			count := uint32(1) << (24 - k.bits)
 			for i := uint32(0); i < count; i++ {
-				d.tbl24[base+i] = hop
+				d.setSlot24(base+i, hop)
 			}
 		} else {
 			idx := k.addr >> 8
-			e := d.tbl24[idx]
+			e := d.slot24(idx)
 			var blk []uint32
 			if e&dir248LongFlag != 0 {
 				blk = d.tblLong[e&^dir248LongFlag]
@@ -121,7 +164,7 @@ func (d *Dir248) rebuildFrom(routes map[prefixKey]int) {
 				for j := range blk {
 					blk[j] = e // inherit the ≤/24 covering hop (possibly 0)
 				}
-				d.tbl24[idx] = dir248LongFlag | uint32(len(d.tblLong))
+				d.setSlot24(idx, dir248LongFlag|uint32(len(d.tblLong)))
 				d.tblLong = append(d.tblLong, blk)
 			}
 			low := k.addr & 0xFF
@@ -138,7 +181,10 @@ func (d *Dir248) Lookup(dst uint32) int {
 	if d.dirty {
 		d.Freeze()
 	}
-	e := d.tbl24[dst>>8]
+	var e uint32
+	if pg := d.tbl24[dst>>24]; pg != nil {
+		e = pg[(dst>>8)&tbl24PageMask]
+	}
 	if e&dir248LongFlag != 0 {
 		e = d.tblLong[e&^dir248LongFlag][dst&0xFF]
 	}
@@ -148,10 +194,16 @@ func (d *Dir248) Lookup(dst uint32) int {
 	return int(e) - 1
 }
 
-// MemoryFootprint reports the approximate bytes used by the lookup arrays,
-// for the capacity analysis in EXPERIMENTS.md.
+// MemoryFootprint reports the approximate bytes used by the lookup arrays
+// (materialized pages only), for the capacity analysis in EXPERIMENTS.md.
 func (d *Dir248) MemoryFootprint() int {
-	return 4*len(d.tbl24) + 4*256*len(d.tblLong)
+	pages := 0
+	for _, pg := range d.tbl24 {
+		if pg != nil {
+			pages++
+		}
+	}
+	return 4*tbl24PageSize*pages + 4*256*len(d.tblLong)
 }
 
 // String summarizes the table shape.

@@ -21,10 +21,12 @@ import (
 //
 // Internally the writer keeps an authoritative Trie alongside the route
 // map. Small batches commit incrementally: the previous snapshot's tbl24
-// is cloned, second-level blocks are copied on write, and only the slot
-// ranges a changed prefix covers are repainted from the trie. Large
-// batches (or tables that accumulated too many orphaned blocks) fall back
-// to a full DIR-24-8 rebuild.
+// pages and second-level blocks are shared and copied on write — only the
+// 2^16-entry pages containing touched slots are cloned, so a one-route
+// commit copies one 256 KB page instead of the whole 64 MB table — and
+// only the slot ranges a changed prefix covers are repainted from the
+// trie. Large batches (or tables that accumulated too many orphaned
+// blocks) fall back to a full DIR-24-8 rebuild.
 type LiveTable struct {
 	mu        sync.Mutex // serializes writers
 	cur       atomic.Pointer[Dir248]
@@ -55,7 +57,7 @@ func NewLiveTable(routes ...Route) (*LiveTable, error) {
 		trie:      NewTrie(),
 		longCount: make(map[uint32]int),
 	}
-	lt.cur.Store(&Dir248{tbl24: make([]uint32, 1<<24)})
+	lt.cur.Store(newDir248Snap())
 	if len(routes) > 0 {
 		if _, err := lt.Update(routes, nil); err != nil {
 			return nil, err
@@ -211,7 +213,8 @@ func (lt *LiveTable) Update(adds []Route, withdraws []netip.Prefix) (uint64, err
 	old := lt.cur.Load()
 	var snap *Dir248
 	if slots > patchSlotLimit || lt.orphans > orphanLimit {
-		snap = &Dir248{tbl24: make([]uint32, 1<<24), n: len(lt.routes)}
+		snap = newDir248Snap()
+		snap.n = len(lt.routes)
 		snap.rebuildFrom(lt.routes)
 		lt.orphans = 0
 	} else {
@@ -222,27 +225,40 @@ func (lt *LiveTable) Update(adds []Route, withdraws []netip.Prefix) (uint64, err
 	return lt.gen.Add(1), nil
 }
 
-// patch builds the next snapshot incrementally: clone the previous tbl24,
-// share its second-level blocks, and repaint only the touched slots from
-// the authoritative trie. Blocks are never mutated in place — a touched
-// slot that needs one gets a freshly painted copy — so the previous
-// snapshot stays intact for readers still holding it.
+// patch builds the next snapshot incrementally: share the previous
+// snapshot's tbl24 pages and second-level blocks, clone only the pages
+// containing touched slots, and repaint those slots from the
+// authoritative trie. Neither pages nor blocks are ever mutated in
+// place — a touched slot gets a freshly copied page (and, for >/24
+// routes, a freshly painted block) — so the previous snapshot stays
+// intact for readers still holding it.
 func (lt *LiveTable) patch(old *Dir248, touched map[uint32]struct{}) *Dir248 {
 	snap := &Dir248{
-		tbl24:   make([]uint32, 1<<24),
+		tbl24:   make([][]uint32, tbl24Pages),
 		tblLong: append([][]uint32(nil), old.tblLong...),
 		n:       len(lt.routes),
 	}
-	copy(snap.tbl24, old.tbl24)
+	copy(snap.tbl24, old.tbl24) // share page pointers; clone on touch below
+	cloned := make(map[uint32]struct{})
 	for s := range touched {
-		e := snap.tbl24[s]
+		pi := s >> tbl24PageBits
+		if _, ok := cloned[pi]; !ok {
+			pg := make([]uint32, tbl24PageSize)
+			if old.tbl24[pi] != nil {
+				copy(pg, old.tbl24[pi])
+			}
+			snap.tbl24[pi] = pg
+			cloned[pi] = struct{}{}
+		}
+		pg := snap.tbl24[pi]
+		e := pg[s&tbl24PageMask]
 		if lt.longCount[s] == 0 {
 			// No >/24 route lives in this slot: every address in it
 			// shares one LPM answer, so one trie walk paints the leaf.
 			if e&dir248LongFlag != 0 {
 				lt.orphans++
 			}
-			snap.tbl24[s] = encodeLeaf(lt.trie.Lookup(s << 8))
+			pg[s&tbl24PageMask] = encodeLeaf(lt.trie.Lookup(s << 8))
 			continue
 		}
 		blk := make([]uint32, 256)
@@ -253,7 +269,7 @@ func (lt *LiveTable) patch(old *Dir248, touched map[uint32]struct{}) *Dir248 {
 		if e&dir248LongFlag != 0 {
 			snap.tblLong[e&^dir248LongFlag] = blk
 		} else {
-			snap.tbl24[s] = dir248LongFlag | uint32(len(snap.tblLong))
+			pg[s&tbl24PageMask] = dir248LongFlag | uint32(len(snap.tblLong))
 			snap.tblLong = append(snap.tblLong, blk)
 		}
 	}

@@ -388,3 +388,75 @@ func TestLiveTableGenerationMonotonic(t *testing.T) {
 		t.Fatalf("generation = %d, want %d", g, commits)
 	}
 }
+
+// TestLiveTablePageSharing checks the chunked-tbl24 commit contract: a
+// one-route commit clones only the 2^16-entry page its slots live in and
+// shares every other page with the previous snapshot by pointer, and the
+// previous snapshot keeps answering from its own (unmutated) pages.
+func TestLiveTablePageSharing(t *testing.T) {
+	// Routes spread across four pages: top byte 10, 11, 20, 172.
+	lt, err := NewLiveTable(
+		Route{mustPrefix("10.1.0.0/16"), 1},
+		Route{mustPrefix("11.2.0.0/16"), 2},
+		Route{mustPrefix("20.3.0.0/16"), 3},
+		Route{mustPrefix("172.16.0.0/16"), 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := lt.Load()
+
+	// One /24 change inside page 10.
+	if err := lt.Insert(mustPrefix("10.1.2.0/24"), 9); err != nil {
+		t.Fatal(err)
+	}
+	after := lt.Load()
+	if before == after {
+		t.Fatal("commit did not publish a new snapshot")
+	}
+	clonedPages := 0
+	for pi := range after.tbl24 {
+		op, np := before.tbl24[pi], after.tbl24[pi]
+		if op == nil && np == nil {
+			continue
+		}
+		if &op[0] != &np[0] {
+			clonedPages++
+			if pi != 10 {
+				t.Errorf("page %d cloned; only page 10 was touched", pi)
+			}
+		}
+	}
+	if clonedPages != 1 {
+		t.Fatalf("cloned %d pages, want exactly 1", clonedPages)
+	}
+	// Old snapshot still answers pre-commit state.
+	if got := before.Lookup(ip("10.1.2.1")); got != 1 {
+		t.Fatalf("old snapshot mutated: lookup = %d, want 1", got)
+	}
+	if got := after.Lookup(ip("10.1.2.1")); got != 9 {
+		t.Fatalf("new snapshot: lookup = %d, want 9", got)
+	}
+	// Untouched address space never materializes pages.
+	if before.tbl24[200] != nil || after.tbl24[200] != nil {
+		t.Fatal("empty address space materialized a page")
+	}
+}
+
+// TestLiveTableFootprintSparse checks that footprint scales with
+// materialized pages, not the full 2^24 slots: four /16s in two pages
+// cost two pages, not 64 MB.
+func TestLiveTableFootprintSparse(t *testing.T) {
+	lt, err := NewLiveTable(
+		Route{mustPrefix("10.0.0.0/16"), 1},
+		Route{mustPrefix("10.9.0.0/16"), 2},
+		Route{mustPrefix("44.0.0.0/16"), 3},
+		Route{mustPrefix("44.7.0.0/16"), 4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := lt.Load().MemoryFootprint(), 2*4*tbl24PageSize; got != want {
+		t.Fatalf("footprint = %d, want %d (two pages)", got, want)
+	}
+}

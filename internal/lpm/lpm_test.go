@@ -255,14 +255,20 @@ func TestPropertyEnginesAgree(t *testing.T) {
 
 func TestDir248MemoryFootprint(t *testing.T) {
 	d := NewDir248()
-	base := d.MemoryFootprint()
-	if base != 4*(1<<24) {
-		t.Fatalf("empty footprint = %d", base)
+	if got := d.MemoryFootprint(); got != 0 {
+		t.Fatalf("empty footprint = %d, want 0 (no pages materialized)", got)
 	}
+	// One /25 materializes exactly one 2^16-entry page plus one long block.
 	must(t, d.Insert(pfx("10.1.2.128/25"), 1))
 	d.Freeze()
-	if got := d.MemoryFootprint(); got != base+4*256 {
-		t.Fatalf("footprint after one long block = %d, want %d", got, base+4*256)
+	if got, want := d.MemoryFootprint(), 4*tbl24PageSize+4*256; got != want {
+		t.Fatalf("footprint after one long block = %d, want %d", got, want)
+	}
+	// A fully painted table costs the classic 64 MB of uint32s.
+	must(t, d.Insert(pfx("0.0.0.0/0"), 2))
+	d.Freeze()
+	if got, want := d.MemoryFootprint(), 4*(1<<24)+4*256; got != want {
+		t.Fatalf("full footprint = %d, want %d", got, want)
 	}
 }
 

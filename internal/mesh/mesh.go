@@ -1,0 +1,196 @@
+// Package mesh turns the paper's §6 cluster story into real processes:
+// N rbrouter instances form a Valiant-load-balanced full mesh over UDP,
+// and this package supplies the control plane that makes the mesh a
+// cluster rather than N strangers — a shared topology file, a
+// heartbeat-based membership/health protocol with a suspect→dead state
+// machine and rejoin handling, and the membership view the data plane
+// re-stripes its VLB spread matrix and per-peer writer rings against.
+//
+// The split of responsibilities:
+//
+//   - Topology is the static config every process loads: member IDs and
+//     the four addresses each member owns (data, control, external, API),
+//     plus the protocol timing knobs.
+//   - Tracker is the pure per-peer liveness state machine (alive →
+//     suspect → dead, rejoin back to alive), driven by observed
+//     heartbeats and an injectable clock — deterministic under test.
+//   - Node owns a member's control socket: it heartbeats every peer,
+//     answers pings with acks (which carry the RTT echo), feeds the
+//     Tracker, and fires OnChange when the live member set changes so
+//     the owner can re-stripe.
+//
+// The protocol is deliberately direct (no gossip): a VLB mesh is a full
+// mesh by construction — every member already exchanges data traffic
+// with every other member — so each member measures every peer's
+// liveness first-hand on the same fate-shared path its packets take.
+package mesh
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"time"
+)
+
+// Protocol timing defaults; a Topology overrides them per cluster.
+const (
+	DefaultHeartbeat    = 100 * time.Millisecond
+	DefaultSuspectAfter = 400 * time.Millisecond
+	DefaultDeadAfter    = 1200 * time.Millisecond
+)
+
+// Member is one mesh node's identity and addresses. All four addresses
+// are host:port strings; data/ctrl/ext are UDP, api is TCP (HTTP).
+type Member struct {
+	ID int `json:"id"`
+	// Data receives mesh (inter-node) frames.
+	Data string `json:"data"`
+	// Ctrl receives membership heartbeats.
+	Ctrl string `json:"ctrl"`
+	// Ext receives external line traffic.
+	Ext string `json:"ext"`
+	// API serves the node's versioned admin API.
+	API string `json:"api"`
+}
+
+// Topology is the cluster definition every member process loads — the
+// file format cmd/rbmesh writes and rbrouter -mesh reads.
+type Topology struct {
+	// HeartbeatMs is the ping interval; SuspectAfterMs and DeadAfterMs
+	// are how long a silent peer takes to be suspected and declared
+	// dead. Zero means the package default.
+	HeartbeatMs    int `json:"heartbeat_ms,omitempty"`
+	SuspectAfterMs int `json:"suspect_after_ms,omitempty"`
+	DeadAfterMs    int `json:"dead_after_ms,omitempty"`
+
+	// Sink, when set, is the UDP address egress (externally delivered)
+	// frames are forwarded to — the collector in a benchmark harness.
+	Sink string `json:"sink,omitempty"`
+
+	Members []Member `json:"members"`
+}
+
+// Heartbeat returns the ping interval.
+func (t Topology) Heartbeat() time.Duration {
+	if t.HeartbeatMs > 0 {
+		return time.Duration(t.HeartbeatMs) * time.Millisecond
+	}
+	return DefaultHeartbeat
+}
+
+// SuspectAfter returns how long a silent peer takes to become suspect.
+func (t Topology) SuspectAfter() time.Duration {
+	if t.SuspectAfterMs > 0 {
+		return time.Duration(t.SuspectAfterMs) * time.Millisecond
+	}
+	return DefaultSuspectAfter
+}
+
+// DeadAfter returns how long a silent peer takes to be declared dead.
+func (t Topology) DeadAfter() time.Duration {
+	if t.DeadAfterMs > 0 {
+		return time.Duration(t.DeadAfterMs) * time.Millisecond
+	}
+	return DefaultDeadAfter
+}
+
+// Validate checks the topology is usable: at least two members, IDs
+// exactly 0..n-1 in order, all addresses present and parseable, and the
+// failure-detection timings ordered heartbeat < suspect < dead.
+func (t Topology) Validate() error {
+	if len(t.Members) < 2 {
+		return fmt.Errorf("mesh: topology needs ≥2 members, has %d", len(t.Members))
+	}
+	for i, m := range t.Members {
+		if m.ID != i {
+			return fmt.Errorf("mesh: member %d has id %d (ids must be 0..n-1 in order)", i, m.ID)
+		}
+		for _, a := range []struct{ name, addr string }{
+			{"data", m.Data}, {"ctrl", m.Ctrl}, {"ext", m.Ext}, {"api", m.API},
+		} {
+			if a.addr == "" {
+				return fmt.Errorf("mesh: member %d missing %s address", i, a.name)
+			}
+			if _, _, err := net.SplitHostPort(a.addr); err != nil {
+				return fmt.Errorf("mesh: member %d %s address %q: %v", i, a.name, a.addr, err)
+			}
+		}
+	}
+	if !(t.Heartbeat() < t.SuspectAfter() && t.SuspectAfter() < t.DeadAfter()) {
+		return fmt.Errorf("mesh: need heartbeat (%v) < suspect (%v) < dead (%v)",
+			t.Heartbeat(), t.SuspectAfter(), t.DeadAfter())
+	}
+	return nil
+}
+
+// LoadTopology reads and validates a topology file.
+func LoadTopology(path string) (Topology, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Topology{}, err
+	}
+	var t Topology
+	if err := json.Unmarshal(raw, &t); err != nil {
+		return Topology{}, fmt.Errorf("mesh: parse %s: %w", path, err)
+	}
+	if err := t.Validate(); err != nil {
+		return Topology{}, fmt.Errorf("mesh: %s: %w", path, err)
+	}
+	return t, nil
+}
+
+// WriteFile marshals the topology to path, pretty-printed.
+func (t Topology) WriteFile(path string) error {
+	raw, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// GenerateLocal builds an n-member loopback topology on OS-assigned free
+// ports (each port is discovered by binding and immediately closing a
+// listener — adequate for local clusters and tests). The timing fields
+// are left zero, so the package defaults apply unless the caller sets
+// them before writing the file.
+func GenerateLocal(n int) (Topology, error) {
+	if n < 2 {
+		return Topology{}, fmt.Errorf("mesh: need ≥2 members, got %d", n)
+	}
+	freeUDP := func() (string, error) {
+		c, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			return "", err
+		}
+		defer c.Close()
+		return c.LocalAddr().String(), nil
+	}
+	freeTCP := func() (string, error) {
+		l, err := net.Listen("tcp4", "127.0.0.1:0")
+		if err != nil {
+			return "", err
+		}
+		defer l.Close()
+		return l.Addr().String(), nil
+	}
+	var t Topology
+	for i := 0; i < n; i++ {
+		m := Member{ID: i}
+		var err error
+		if m.Data, err = freeUDP(); err != nil {
+			return Topology{}, err
+		}
+		if m.Ctrl, err = freeUDP(); err != nil {
+			return Topology{}, err
+		}
+		if m.Ext, err = freeUDP(); err != nil {
+			return Topology{}, err
+		}
+		if m.API, err = freeTCP(); err != nil {
+			return Topology{}, err
+		}
+		t.Members = append(t.Members, m)
+	}
+	return t, nil
+}

@@ -1,0 +1,235 @@
+package mesh
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// PeerState is one peer's position in the failure-detection state
+// machine. A peer is Alive while heartbeats arrive, Suspect once it has
+// been silent past SuspectAfter (still striped over — a suspect is
+// usually a scheduling hiccup, and dropping its VLB share on every
+// stall would churn the mesh), and Dead once silent past DeadAfter.
+// Dead is the only state the data plane re-stripes around; any message
+// from a dead peer flips it straight back to Alive (rejoin).
+type PeerState int
+
+// Peer states, in escalation order.
+const (
+	StateAlive PeerState = iota
+	StateSuspect
+	StateDead
+)
+
+// String renders the state for JSON and logs.
+func (s PeerState) String() string {
+	switch s {
+	case StateAlive:
+		return "alive"
+	case StateSuspect:
+		return "suspect"
+	case StateDead:
+		return "dead"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// Transition is one peer's state change, reported by Observe and Tick.
+type Transition struct {
+	Peer     int
+	From, To PeerState
+	// Rejoined marks a dead→alive transition or a new incarnation of an
+	// alive peer (the process restarted between heartbeats).
+	Rejoined bool
+}
+
+// TrackerConfig parameterizes a Tracker.
+type TrackerConfig struct {
+	Self         int
+	N            int
+	SuspectAfter time.Duration
+	DeadAfter    time.Duration
+}
+
+// Tracker is the membership state machine: per-peer liveness driven by
+// observed control messages and the caller's clock. It is pure policy —
+// no sockets, no goroutines, no real time — which is what makes the
+// suspect→dead→rejoin sequence deterministic under test. All methods
+// take the current time explicitly; the Node feeds it wall-clock time,
+// tests feed it a script. Safe for concurrent use (the admin API reads
+// Status while the control loops write).
+type Tracker struct {
+	mu    sync.Mutex
+	cfg   TrackerConfig
+	peers []peerRec
+}
+
+type peerRec struct {
+	state       PeerState
+	lastSeen    time.Time
+	incarnation uint64
+	gen         uint64 // peer's last advertised re-stripe generation
+	rtt         time.Duration
+	rttKnown    bool
+	observed    uint64 // control messages accepted from this peer
+}
+
+// NewTracker builds a tracker with every peer Alive as of start — new
+// members get a full DeadAfter grace period to say their first hello.
+func NewTracker(cfg TrackerConfig, start time.Time) *Tracker {
+	if cfg.N < 2 || cfg.Self < 0 || cfg.Self >= cfg.N {
+		panic(fmt.Sprintf("mesh: bad tracker config N=%d self=%d", cfg.N, cfg.Self))
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = DefaultSuspectAfter
+	}
+	if cfg.DeadAfter <= cfg.SuspectAfter {
+		cfg.DeadAfter = cfg.SuspectAfter * 3
+	}
+	t := &Tracker{cfg: cfg, peers: make([]peerRec, cfg.N)}
+	for i := range t.peers {
+		t.peers[i].lastSeen = start
+	}
+	return t
+}
+
+// Observe records a control message from a peer at time now and returns
+// the transition it caused, if any. A message from a suspect peer
+// rescues it; a message from a dead peer is a rejoin; a fresh
+// incarnation of an alive peer (it restarted faster than the detector)
+// is reported as a rejoin too, so the owner can resynchronize per-peer
+// state even though the live set never changed.
+func (t *Tracker) Observe(peer int, m Message, now time.Time) (Transition, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if peer < 0 || peer >= t.cfg.N || peer == t.cfg.Self {
+		return Transition{}, false
+	}
+	p := &t.peers[peer]
+	restarted := p.incarnation != 0 && m.Incarnation != p.incarnation
+	from := p.state
+	p.lastSeen = now
+	p.incarnation = m.Incarnation
+	p.gen = m.Gen
+	p.observed++
+	if from != StateAlive {
+		p.state = StateAlive
+		p.rttKnown = false // stale estimate; remeasure after the outage
+		return Transition{Peer: peer, From: from, To: StateAlive, Rejoined: from == StateDead}, true
+	}
+	if restarted {
+		return Transition{Peer: peer, From: from, To: StateAlive, Rejoined: true}, true
+	}
+	return Transition{}, false
+}
+
+// ObserveRTT folds one measured round-trip into the peer's EWMA
+// (α = 1/8, the classic SRTT smoothing).
+func (t *Tracker) ObserveRTT(peer int, rtt time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if peer < 0 || peer >= t.cfg.N || rtt < 0 {
+		return
+	}
+	p := &t.peers[peer]
+	if !p.rttKnown {
+		p.rtt, p.rttKnown = rtt, true
+		return
+	}
+	p.rtt += (rtt - p.rtt) / 8
+}
+
+// Tick advances the failure detector to time now and returns the
+// transitions that fired: peers silent past SuspectAfter become
+// Suspect, past DeadAfter become Dead.
+func (t *Tracker) Tick(now time.Time) []Transition {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []Transition
+	for i := range t.peers {
+		if i == t.cfg.Self {
+			continue
+		}
+		p := &t.peers[i]
+		silent := now.Sub(p.lastSeen)
+		want := p.state
+		switch {
+		case silent >= t.cfg.DeadAfter:
+			want = StateDead
+		case silent >= t.cfg.SuspectAfter:
+			if p.state != StateDead {
+				want = StateSuspect
+			}
+		}
+		if want != p.state {
+			out = append(out, Transition{Peer: i, From: p.state, To: want})
+			p.state = want
+		}
+	}
+	return out
+}
+
+// Live returns the current live view: one bool per member, true unless
+// the peer is Dead. Self is always live. This is the vector the data
+// plane re-stripes its VLB matrix against.
+func (t *Tracker) Live() []bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	live := make([]bool, t.cfg.N)
+	for i := range live {
+		live[i] = i == t.cfg.Self || t.peers[i].state != StateDead
+	}
+	return live
+}
+
+// AliveCount reports how many members are currently live (incl. self).
+func (t *Tracker) AliveCount() int {
+	n := 0
+	for _, l := range t.Live() {
+		if l {
+			n++
+		}
+	}
+	return n
+}
+
+// State reports one peer's current state.
+func (t *Tracker) State(peer int) PeerState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.peers[peer].state
+}
+
+// PeerStatus is one row of the membership table served by /api/v1/mesh.
+type PeerStatus struct {
+	ID          int     `json:"id"`
+	State       string  `json:"state"`
+	LastSeenMs  float64 `json:"last_seen_ms"`     // silence duration at snapshot time
+	RTTMicros   float64 `json:"rtt_us,omitempty"` // smoothed heartbeat RTT
+	Incarnation uint64  `json:"incarnation,omitempty"`
+	Generation  uint64  `json:"generation,omitempty"` // peer's advertised re-stripe gen
+	Observed    uint64  `json:"observed"`             // control messages accepted
+}
+
+// Peers renders the membership table at time now. The self row carries
+// state "self" and no silence/RTT figures.
+func (t *Tracker) Peers(now time.Time) []PeerStatus {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]PeerStatus, t.cfg.N)
+	for i := range t.peers {
+		p := t.peers[i]
+		out[i] = PeerStatus{ID: i, Incarnation: p.incarnation, Generation: p.gen, Observed: p.observed}
+		if i == t.cfg.Self {
+			out[i].State = "self"
+			continue
+		}
+		out[i].State = p.state.String()
+		out[i].LastSeenMs = float64(now.Sub(p.lastSeen)) / float64(time.Millisecond)
+		if p.rttKnown {
+			out[i].RTTMicros = float64(p.rtt) / float64(time.Microsecond)
+		}
+	}
+	return out
+}

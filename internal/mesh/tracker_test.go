@@ -1,0 +1,184 @@
+package mesh
+
+import (
+	"testing"
+	"time"
+)
+
+// clock is the injectable test clock: transitions are driven entirely by
+// explicit times, so the suspect→dead→rejoin sequence is deterministic.
+type clock struct{ t time.Time }
+
+func newClock() *clock { return &clock{t: time.Unix(1000, 0)} }
+
+func (c *clock) advance(d time.Duration) time.Time {
+	c.t = c.t.Add(d)
+	return c.t
+}
+
+func testTracker(c *clock) *Tracker {
+	return NewTracker(TrackerConfig{
+		Self:         0,
+		N:            4,
+		SuspectAfter: 300 * time.Millisecond,
+		DeadAfter:    time.Second,
+	}, c.t)
+}
+
+func ping(from int, inc uint64) Message {
+	return Message{Kind: MsgPing, From: from, Incarnation: inc}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	in := Message{Kind: MsgAck, From: 3, Incarnation: 0xDEADBEEF, Gen: 7, Seq: 42, SentNanos: -12345}
+	b := Encode(in)
+	if len(b) != WireSize {
+		t.Fatalf("encoded %d bytes, want %d", len(b), WireSize)
+	}
+	out, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v want %+v", out, in)
+	}
+	for _, bad := range [][]byte{nil, b[:WireSize-1], append([]byte{0}, b[1:]...)} {
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("decoded malformed datagram %v", bad)
+		}
+	}
+	b[5] = 99 // unknown kind
+	if _, err := Decode(b); err == nil {
+		t.Fatal("decoded unknown message kind")
+	}
+}
+
+// TestTrackerSuspectDeadRejoin walks one peer through the full state
+// machine on a scripted clock: alive → suspect → dead → rejoin → alive,
+// with the dead-boundary transitions (the ones that trigger
+// re-striping) exactly where the configured timeouts put them.
+func TestTrackerSuspectDeadRejoin(t *testing.T) {
+	c := newClock()
+	tr := testTracker(c)
+
+	// All peers heartbeat at t+100ms.
+	now := c.advance(100 * time.Millisecond)
+	for p := 1; p < 4; p++ {
+		tr.Observe(p, ping(p, 11), now)
+	}
+	if got := tr.Tick(now); len(got) != 0 {
+		t.Fatalf("fresh heartbeats produced transitions: %v", got)
+	}
+
+	// Peer 2 goes silent. Peers 1 and 3 keep heartbeating.
+	beat := func(now time.Time) {
+		tr.Observe(1, ping(1, 11), now)
+		tr.Observe(3, ping(3, 11), now)
+	}
+	// +250ms of silence: under SuspectAfter, nothing fires.
+	now = c.advance(250 * time.Millisecond)
+	beat(now)
+	if got := tr.Tick(now); len(got) != 0 {
+		t.Fatalf("transitions before SuspectAfter: %v", got)
+	}
+	// +350ms of silence: suspect, but still live (no re-stripe signal).
+	now = c.advance(100 * time.Millisecond)
+	beat(now)
+	got := tr.Tick(now)
+	if len(got) != 1 || got[0] != (Transition{Peer: 2, From: StateAlive, To: StateSuspect}) {
+		t.Fatalf("at 350ms silence: %v", got)
+	}
+	if live := tr.Live(); !live[2] {
+		t.Fatal("suspect peer dropped from live set")
+	}
+	// +1050ms of silence: dead.
+	now = c.advance(700 * time.Millisecond)
+	beat(now)
+	got = tr.Tick(now)
+	if len(got) != 1 || got[0] != (Transition{Peer: 2, From: StateSuspect, To: StateDead}) {
+		t.Fatalf("at 1050ms silence: %v", got)
+	}
+	live := tr.Live()
+	if live[2] || !live[0] || !live[1] || !live[3] {
+		t.Fatalf("live after death = %v", live)
+	}
+	if tr.AliveCount() != 3 {
+		t.Fatalf("AliveCount = %d, want 3", tr.AliveCount())
+	}
+	// Still dead on further ticks — no repeated transitions.
+	now = c.advance(time.Second)
+	beat(now)
+	if got := tr.Tick(now); len(got) != 0 {
+		t.Fatalf("dead peer re-transitioned: %v", got)
+	}
+
+	// Rejoin: one heartbeat from a fresh incarnation flips dead→alive.
+	now = c.advance(100 * time.Millisecond)
+	rj, ok := tr.Observe(2, ping(2, 99), now)
+	if !ok || !rj.Rejoined || rj.From != StateDead || rj.To != StateAlive {
+		t.Fatalf("rejoin transition = %+v ok=%v", rj, ok)
+	}
+	if live := tr.Live(); !live[2] {
+		t.Fatal("rejoined peer not live")
+	}
+	if got := tr.Tick(now); len(got) != 0 {
+		t.Fatalf("transitions after rejoin: %v", got)
+	}
+}
+
+// TestTrackerSuspectRescue: a suspect peer that heartbeats again comes
+// straight back without ever crossing the dead boundary.
+func TestTrackerSuspectRescue(t *testing.T) {
+	c := newClock()
+	tr := testTracker(c)
+	now := c.advance(400 * time.Millisecond) // everyone silent past SuspectAfter
+	trs := tr.Tick(now)
+	if len(trs) != 3 {
+		t.Fatalf("suspects = %v", trs)
+	}
+	rescue, ok := tr.Observe(1, ping(1, 5), now)
+	if !ok || rescue.Rejoined || rescue.From != StateSuspect || rescue.To != StateAlive {
+		t.Fatalf("rescue = %+v ok=%v", rescue, ok)
+	}
+	if tr.State(1) != StateAlive {
+		t.Fatal("rescued peer not alive")
+	}
+}
+
+// TestTrackerRestartDetected: a fresh incarnation of an alive peer is
+// reported as a rejoin even though the live set never changed.
+func TestTrackerRestartDetected(t *testing.T) {
+	c := newClock()
+	tr := testTracker(c)
+	now := c.advance(50 * time.Millisecond)
+	tr.Observe(1, ping(1, 7), now)
+	now = c.advance(50 * time.Millisecond)
+	rj, ok := tr.Observe(1, ping(1, 8), now)
+	if !ok || !rj.Rejoined || rj.From != StateAlive {
+		t.Fatalf("restart = %+v ok=%v", rj, ok)
+	}
+}
+
+// TestTrackerRTT checks the SRTT fold and its reset across an outage.
+func TestTrackerRTT(t *testing.T) {
+	c := newClock()
+	tr := testTracker(c)
+	now := c.advance(10 * time.Millisecond)
+	tr.Observe(1, ping(1, 7), now)
+	tr.ObserveRTT(1, 800*time.Microsecond)
+	tr.ObserveRTT(1, 1600*time.Microsecond) // ewma: 800 + 800/8 = 900µs
+	ps := tr.Peers(now)
+	if got := ps[1].RTTMicros; got != 900 {
+		t.Fatalf("smoothed RTT = %vµs, want 900", got)
+	}
+	// Outage: dead then rejoin resets the estimate.
+	now = c.advance(2 * time.Second)
+	tr.Tick(now)
+	tr.Observe(1, ping(1, 9), now)
+	if got := tr.Peers(now)[1].RTTMicros; got != 0 {
+		t.Fatalf("RTT survived an outage: %vµs", got)
+	}
+	if ps := tr.Peers(now); ps[0].State != "self" {
+		t.Fatalf("self row state = %q", ps[0].State)
+	}
+}

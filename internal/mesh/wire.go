@@ -1,0 +1,82 @@
+package mesh
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// The control-plane wire format: one fixed-size datagram per message,
+// binary big-endian, no allocation to decode. Two kinds exist — a ping
+// (heartbeat) and its ack. An ack echoes the ping's sequence number and
+// send timestamp verbatim, so the pinger computes RTT purely from its
+// own clock; incarnation lets peers tell a restarted process from a
+// network blip, and gen advertises the sender's re-stripe generation so
+// convergence is observable cluster-wide.
+
+// MsgKind discriminates control messages.
+type MsgKind byte
+
+// Control message kinds.
+const (
+	MsgPing MsgKind = 1
+	MsgAck  MsgKind = 2
+)
+
+const (
+	wireMagic   = uint32(0x52424d48) // "RBMH"
+	wireVersion = byte(1)
+
+	// WireSize is the exact encoded size of a Message.
+	WireSize = 4 + 1 + 1 + 2 + 8 + 8 + 8 + 8
+)
+
+// Message is one decoded control datagram.
+type Message struct {
+	Kind        MsgKind
+	From        int    // sender's member ID
+	Incarnation uint64 // sender's process incarnation (unix nanos at start)
+	Gen         uint64 // sender's re-stripe generation
+	Seq         uint64 // ping sequence; acks echo it
+	SentNanos   int64  // ping send time on the pinger's clock; acks echo it
+}
+
+// Encode renders m into exactly WireSize bytes.
+func Encode(m Message) []byte {
+	b := make([]byte, WireSize)
+	binary.BigEndian.PutUint32(b[0:], wireMagic)
+	b[4] = wireVersion
+	b[5] = byte(m.Kind)
+	binary.BigEndian.PutUint16(b[6:], uint16(m.From))
+	binary.BigEndian.PutUint64(b[8:], m.Incarnation)
+	binary.BigEndian.PutUint64(b[16:], m.Gen)
+	binary.BigEndian.PutUint64(b[24:], m.Seq)
+	binary.BigEndian.PutUint64(b[32:], uint64(m.SentNanos))
+	return b
+}
+
+// Decode parses a control datagram, rejecting anything that is not a
+// well-formed current-version message (stray traffic on the control
+// port must not corrupt membership state).
+func Decode(b []byte) (Message, error) {
+	if len(b) != WireSize {
+		return Message{}, fmt.Errorf("mesh: control datagram of %d bytes, want %d", len(b), WireSize)
+	}
+	if binary.BigEndian.Uint32(b[0:]) != wireMagic {
+		return Message{}, fmt.Errorf("mesh: bad magic")
+	}
+	if b[4] != wireVersion {
+		return Message{}, fmt.Errorf("mesh: wire version %d, want %d", b[4], wireVersion)
+	}
+	k := MsgKind(b[5])
+	if k != MsgPing && k != MsgAck {
+		return Message{}, fmt.Errorf("mesh: unknown message kind %d", k)
+	}
+	return Message{
+		Kind:        k,
+		From:        int(binary.BigEndian.Uint16(b[6:])),
+		Incarnation: binary.BigEndian.Uint64(b[8:]),
+		Gen:         binary.BigEndian.Uint64(b[16:]),
+		Seq:         binary.BigEndian.Uint64(b[24:]),
+		SentNanos:   int64(binary.BigEndian.Uint64(b[32:])),
+	}, nil
+}

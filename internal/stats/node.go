@@ -1,0 +1,61 @@
+package stats
+
+// NodeStats is one cluster member's slice of the /api/v1/stats JSON
+// document: the pipeline's unified ingress Snapshot plus the node's
+// socket-level counters, which live outside the pipeline (UDP reads,
+// per-peer transmit rings, drains). cmd/rbrouter embeds it on the serve
+// side (adding process-local extras like controller state) and rbmesh
+// decodes it when aggregating a cluster snapshot, so the two ends agree
+// on the wire shape by construction.
+type NodeStats struct {
+	ID      int      `json:"id"`
+	Ingress Snapshot `json:"ingress"`
+
+	TransitQueued  int    `json:"transit_queued"`
+	TransitPackets uint64 `json:"transit_packets"`
+	Forwarded      uint64 `json:"forwarded"`
+	Egressed       uint64 `json:"egressed"`
+	RouteMisses    uint64 `json:"route_misses"`
+	HeaderDrops    uint64 `json:"header_drops"`
+	RxDrops        uint64 `json:"rx_drops"`
+	TxBatches      uint64 `json:"tx_batches"`
+	TxStalls       uint64 `json:"tx_stalls"`
+	// TxDrained counts packets flushed from transmit rings during
+	// graceful shutdown or a re-stripe around a dead peer — accounted,
+	// not silently lost.
+	TxDrained uint64 `json:"tx_drained"`
+	// Restripes is the node's VLB re-stripe generation (0 until the
+	// first membership change re-spreads the mesh).
+	Restripes uint64 `json:"restripes,omitempty"`
+}
+
+// NodeTotals is the cluster-wide sum of per-node counters — the shape
+// rbmesh reports as the aggregate forwarding ledger.
+type NodeTotals struct {
+	TransitPackets uint64 `json:"transit_packets"`
+	Forwarded      uint64 `json:"forwarded"`
+	Egressed       uint64 `json:"egressed"`
+	RouteMisses    uint64 `json:"route_misses"`
+	HeaderDrops    uint64 `json:"header_drops"`
+	RxDrops        uint64 `json:"rx_drops"`
+	TxBatches      uint64 `json:"tx_batches"`
+	TxStalls       uint64 `json:"tx_stalls"`
+	TxDrained      uint64 `json:"tx_drained"`
+}
+
+// SumNodes folds per-node stats into cluster totals.
+func SumNodes(nodes []NodeStats) NodeTotals {
+	var t NodeTotals
+	for _, n := range nodes {
+		t.TransitPackets += n.TransitPackets
+		t.Forwarded += n.Forwarded
+		t.Egressed += n.Egressed
+		t.RouteMisses += n.RouteMisses
+		t.HeaderDrops += n.HeaderDrops
+		t.RxDrops += n.RxDrops
+		t.TxBatches += n.TxBatches
+		t.TxStalls += n.TxStalls
+		t.TxDrained += n.TxDrained
+	}
+	return t
+}

@@ -211,8 +211,9 @@ func churnMode(name string) (string, int) {
 // checkChurn is the churn-regression gate: for every core count where
 // both BenchmarkChurn modes ran, forwarding under live route churn must
 // hold at least (1-tol)× the idle-control-plane Mpps. The tolerance
-// absorbs the writer's real CPU cost (each commit clones a 64 MB tbl24,
-// which on a small host competes with the forwarding cores); what it
+// absorbs the writer's real CPU cost (each commit copies the touched
+// tbl24 pages, which on a small host competes with the forwarding
+// cores); what it
 // must catch is a reader-side regression — any change that makes
 // lookups pay per-packet synchronization shows up as a collapse here,
 // not a percentage.

@@ -1,0 +1,212 @@
+// Command meshsmoke is the end-to-end gate for the multi-process mesh:
+// it builds rbrouter and rbmesh, boots a 3-member cluster through the
+// launcher, and drives the §6 failure story over the public HTTP
+// surfaces only — the same interfaces an operator has:
+//
+//  1. all three members converge alive, and injected traffic is fully
+//     delivered across the mesh;
+//  2. one member is hard-killed; the aggregate snapshot converges to
+//     2/3 running with every survivor re-striped (the dead member's
+//     VLB share redistributed);
+//  3. traffic injected after convergence is again fully delivered —
+//     the dead member's share moved to live peers without loss;
+//  4. the killed member restarts, rejoins, and the cluster converges
+//     back to 3/3 with traffic flowing through all members.
+//
+// Exit status 0 means the story held. Run via `make mesh-smoke`.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+)
+
+const api = "http://127.0.0.1:8765"
+
+// clusterView is the slice of rbmesh's /api/v1/cluster document the
+// smoke assertions need.
+type clusterView struct {
+	Members   int  `json:"members"`
+	Running   int  `json:"running"`
+	Converged bool `json:"converged"`
+	Totals    struct {
+		Egressed  uint64 `json:"egressed"`
+		TxDrained uint64 `json:"tx_drained"`
+	} `json:"totals"`
+	Collector struct {
+		Received uint64            `json:"received"`
+		ByNode   map[string]uint64 `json:"by_node"`
+	} `json:"collector"`
+}
+
+func getCluster() (clusterView, error) {
+	var v clusterView
+	resp, err := http.Get(api + "/api/v1/cluster")
+	if err != nil {
+		return v, err
+	}
+	defer resp.Body.Close()
+	return v, json.NewDecoder(resp.Body).Decode(&v)
+}
+
+func post(path string) error {
+	resp, err := http.Post(api+path, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s: HTTP %d", path, resp.StatusCode)
+	}
+	return nil
+}
+
+// waitConverged polls until the cluster reports the wanted running
+// count with a converged membership view.
+func waitConverged(running int, timeout time.Duration) (clusterView, error) {
+	deadline := time.Now().Add(timeout)
+	var last clusterView
+	var lastErr error
+	for time.Now().Before(deadline) {
+		v, err := getCluster()
+		if err == nil && v.Running == running && v.Converged {
+			return v, nil
+		}
+		last, lastErr = v, err
+		time.Sleep(100 * time.Millisecond)
+	}
+	return last, fmt.Errorf("timed out waiting for running=%d converged (last: %+v, err: %v)", running, last, lastErr)
+}
+
+// inject fires packets and waits for the collector ledger to account
+// for every one of them on top of base. Returns the new ledger total.
+func inject(packets int, base uint64, settle time.Duration) (uint64, error) {
+	if err := post(fmt.Sprintf("/api/v1/inject?packets=%d&rate=40000", packets)); err != nil {
+		return base, err
+	}
+	want := base + uint64(packets)
+	deadline := time.Now().Add(settle)
+	var got uint64
+	for time.Now().Before(deadline) {
+		v, err := getCluster()
+		if err == nil {
+			got = v.Collector.Received
+			if got >= want {
+				return got, nil
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	return got, fmt.Errorf("delivered %d of %d injected (ledger %d, want %d)", got-base, packets, got, want)
+}
+
+func run() error {
+	bin, err := os.MkdirTemp("", "meshsmoke-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(bin)
+	for _, cmd := range []string{"rbrouter", "rbmesh"} {
+		build := exec.Command("go", "build", "-o", filepath.Join(bin, cmd), "./cmd/"+cmd)
+		build.Stdout, build.Stderr = os.Stdout, os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("build %s: %w", cmd, err)
+		}
+	}
+
+	// Fast failure detection so the smoke finishes in seconds; the
+	// protocol constants under test are the same, only the timers shrink.
+	mesh := exec.Command(filepath.Join(bin, "rbmesh"),
+		"-n", "3",
+		"-rbrouter", filepath.Join(bin, "rbrouter"),
+		"-addr", "127.0.0.1:8765",
+		"-logdir", bin,
+		"-heartbeat-ms", "50",
+		"-dead-ms", "600",
+	)
+	mesh.Stdout, mesh.Stderr = os.Stdout, os.Stderr
+	if err := mesh.Start(); err != nil {
+		return err
+	}
+	meshDone := make(chan error, 1)
+	go func() { meshDone <- mesh.Wait() }()
+	stop := func() {
+		mesh.Process.Signal(syscall.SIGTERM)
+		select {
+		case <-meshDone:
+		case <-time.After(10 * time.Second):
+			mesh.Process.Kill()
+		}
+	}
+	defer stop()
+
+	// Phase 1: full mesh converges and carries traffic loss-free.
+	if _, err := waitConverged(3, 15*time.Second); err != nil {
+		return fmt.Errorf("phase 1 (boot): %w", err)
+	}
+	fmt.Println("meshsmoke: 3/3 members converged")
+	ledger, err := inject(2000, 0, 15*time.Second)
+	if err != nil {
+		return fmt.Errorf("phase 1 (traffic): %w", err)
+	}
+	fmt.Printf("meshsmoke: full mesh delivered %d/%d\n", ledger, 2000)
+
+	// Phase 2: kill one member; survivors must declare it dead and
+	// re-stripe (converged == every survivor's view matches reality).
+	if err := post("/api/v1/kill?id=2"); err != nil {
+		return fmt.Errorf("phase 2 (kill): %w", err)
+	}
+	v, err := waitConverged(2, 15*time.Second)
+	if err != nil {
+		return fmt.Errorf("phase 2 (death convergence): %w", err)
+	}
+	fmt.Printf("meshsmoke: member 2 dead, survivors converged (running %d/%d)\n", v.Running, v.Members)
+
+	// Phase 3: traffic injected after convergence is fully delivered by
+	// the remaining members — the dead member's VLB share was
+	// redistributed, not dropped.
+	before := v.Collector.ByNode["2"]
+	ledger, err = inject(2000, ledger, 15*time.Second)
+	if err != nil {
+		return fmt.Errorf("phase 3 (post-failure traffic): %w", err)
+	}
+	v, _ = getCluster()
+	if after := v.Collector.ByNode["2"]; after != before {
+		return fmt.Errorf("phase 3: dead member's prefix gained deliveries (%d → %d)", before, after)
+	}
+	fmt.Printf("meshsmoke: post-failure traffic delivered in full (ledger %d), dead prefix untouched\n", ledger)
+
+	// Phase 4: restart, rejoin, converge back to full strength, and
+	// carry traffic through all three members again.
+	if err := post("/api/v1/restart?id=2"); err != nil {
+		return fmt.Errorf("phase 4 (restart): %w", err)
+	}
+	if _, err := waitConverged(3, 15*time.Second); err != nil {
+		return fmt.Errorf("phase 4 (rejoin convergence): %w", err)
+	}
+	ledger, err = inject(1500, ledger, 15*time.Second)
+	if err != nil {
+		return fmt.Errorf("phase 4 (post-rejoin traffic): %w", err)
+	}
+	v, _ = getCluster()
+	if v.Collector.ByNode["2"] <= before {
+		return fmt.Errorf("phase 4: rejoined member received no traffic (by_node %v)", v.Collector.ByNode)
+	}
+	fmt.Printf("meshsmoke: rejoin carried traffic (ledger %d, by_node %v)\n", ledger, v.Collector.ByNode)
+
+	fmt.Println("meshsmoke: PASS")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "meshsmoke:", err)
+		os.Exit(1)
+	}
+}

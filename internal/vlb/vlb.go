@@ -54,6 +54,11 @@ type Config struct {
 
 	// Seed makes intermediate selection deterministic.
 	Seed int64
+
+	// Live, when non-nil, is the initial live-member view (len Nodes):
+	// the balancer stripes only over members marked true, as if Restripe
+	// had been called right after construction. Self is always live.
+	Live []bool
 }
 
 // DefaultDelta is the paper's flowlet timeout.
@@ -76,7 +81,10 @@ type Balancer struct {
 	direct   []tokenBucket // per-destination direct quota
 	linkUtil []ewmaRate    // per-next-node utilization estimate
 	flows    map[uint64]*flowlet
-	down     []bool // nodes known unreachable (failure injection)
+	down     []bool // nodes known unreachable (failure injection / re-striping)
+
+	liveCount  int    // members currently striped over (Nodes minus down)
+	nRestripes uint64 // Restripe calls that changed the live view
 
 	// counters
 	nDirect, nSticky, nSpread, nNewFlowlet, nOverflow uint64
@@ -120,8 +128,71 @@ func New(cfg Config) *Balancer {
 		b.direct = append(b.direct, newTokenBucket(quota, 2*pkt.MaxSize))
 		b.linkUtil = append(b.linkUtil, newEwmaRate(10*sim.Millisecond))
 	}
+	b.liveCount = cfg.Nodes
+	if cfg.Live != nil {
+		b.Restripe(cfg.Live)
+		b.nRestripes = 0 // construction, not a membership change
+	}
 	return b
 }
+
+// Restripe installs a new live-member view and recomputes the VLB spread
+// matrix against it: dead members are excluded as destinations'
+// intermediates and flowlet paths, the per-destination direct quota is
+// re-divided as R/N_live (a dead member's share of the direct budget is
+// redistributed over the survivors), and flowlets pinned to a dead via
+// are evicted so their next packet re-pins to a live path instead of
+// silently dying in a black hole. live must have len Nodes; self is
+// always treated as live. Like Route, Restripe is single-threaded with
+// respect to the balancer's owner — the mesh calls it under the drain
+// barrier, with no packets in flight through this balancer.
+func (b *Balancer) Restripe(live []bool) {
+	if len(live) != b.cfg.Nodes {
+		panic(fmt.Sprintf("vlb: restripe with %d members, balancer has %d", len(live), b.cfg.Nodes))
+	}
+	n := 0
+	changed := false
+	for i := range live {
+		isLive := live[i] || i == b.cfg.Self
+		if isLive {
+			n++
+		}
+		if b.down[i] == isLive { // down is the inverse of live
+			b.down[i] = !isLive
+			changed = true
+		}
+	}
+	if n < 1 {
+		n = 1
+	}
+	if !changed && n == b.liveCount {
+		return
+	}
+	b.liveCount = n
+	b.nRestripes++
+	// Re-divide the direct budget over the survivors. Buckets keep their
+	// current fill (a rate bound, not a credit store, so no burst is
+	// manufactured by the change).
+	quota := b.cfg.LineRateBps / float64(n) / 8
+	for i := range b.direct {
+		b.direct[i].setRate(quota)
+	}
+	// Evict flowlets whose pinned path is gone; survivors keep their
+	// paths, so re-striping does not reorder flows that never touched
+	// the dead member.
+	for k, fl := range b.flows {
+		if b.down[fl.via] {
+			delete(b.flows, k)
+		}
+	}
+}
+
+// LiveCount reports how many members the balancer currently stripes
+// over (including self).
+func (b *Balancer) LiveCount() int { return b.liveCount }
+
+// Restripes reports how many Restripe calls changed the live view.
+func (b *Balancer) Restripes() uint64 { return b.nRestripes }
 
 // Route decides the next node for packet p, which entered the cluster at
 // this node and must exit at node dst. now is the virtual time.
@@ -200,7 +271,9 @@ func (b *Balancer) pickIntermediate() int {
 }
 
 // SetDown marks a node (un)reachable for future routing decisions — the
-// hook failure injection uses. Marking self down is ignored.
+// hook failure injection uses. Unlike Restripe it does not re-divide the
+// direct quota; the mesh's membership layer should use Restripe, which
+// also accounts the change. Marking self down is ignored.
 func (b *Balancer) SetDown(node int, down bool) {
 	if node >= 0 && node < len(b.down) && node != b.cfg.Self {
 		b.down[node] = down
@@ -240,6 +313,13 @@ func newTokenBucket(rateBytesPerSec, burst float64) tokenBucket {
 		burst = pkt.MaxSize // always admit at least one full frame
 	}
 	return tokenBucket{rate: rateBytesPerSec, burst: burst, tokens: burst}
+}
+
+// setRate changes the refill rate in place, keeping the current fill —
+// the re-striping path re-divides the direct budget without
+// manufacturing a burst.
+func (t *tokenBucket) setRate(rateBytesPerSec float64) {
+	t.rate = rateBytesPerSec
 }
 
 func (t *tokenBucket) take(now sim.Time, bytes float64) bool {

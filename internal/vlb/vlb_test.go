@@ -293,3 +293,140 @@ func BenchmarkRouteFlowlets(b *testing.B) {
 		bal.Route(now, p, 1+i%3)
 	}
 }
+
+// TestRestripeExcludesDead drives heavy traffic through a 4-node
+// balancer, re-stripes node 2 out, and checks that (a) no decision ever
+// routes via the dead member afterwards, (b) the dead member's VLB share
+// is redistributed — every packet still gets a live next hop, so nothing
+// is lost to the membership change — and (c) a rejoin restores striping
+// over the full set.
+func TestRestripeExcludesDead(t *testing.T) {
+	b := New(cfg4(true))
+	if b.LiveCount() != 4 {
+		t.Fatalf("LiveCount = %d, want 4", b.LiveCount())
+	}
+	now := sim.Time(0)
+	route := func(i int, dst int) Decision {
+		p := flowPacket(uint16(1000+i%512), 300)
+		d := b.Route(now, p, dst)
+		now += 2 * sim.Microsecond
+		return d
+	}
+	for i := 0; i < 2000; i++ {
+		route(i, 1+i%3) // warm up: all destinations, many flowlets via 2
+	}
+
+	live := []bool{true, true, false, true}
+	b.Restripe(live)
+	if b.LiveCount() != 3 {
+		t.Fatalf("LiveCount after restripe = %d, want 3", b.LiveCount())
+	}
+	if b.Restripes() != 1 {
+		t.Fatalf("Restripes = %d, want 1", b.Restripes())
+	}
+	// Identical view: no-op, no counter bump.
+	b.Restripe(live)
+	if b.Restripes() != 1 {
+		t.Fatalf("idempotent restripe bumped counter to %d", b.Restripes())
+	}
+
+	hist := make([]int, 4)
+	for i := 0; i < 4000; i++ {
+		dst := 1 + 2*(i%2) // only live destinations (1 and 3)
+		d := route(i, dst)
+		if d.Next == 2 {
+			t.Fatalf("packet %d routed via dead member 2 (dst %d)", i, dst)
+		}
+		if d.Next < 0 || d.Next > 3 {
+			t.Fatalf("packet %d got next %d", i, d.Next)
+		}
+		hist[d.Next]++
+	}
+	// The dead member's share went somewhere: every live non-self member
+	// carried traffic.
+	for _, n := range []int{1, 3} {
+		if hist[n] == 0 {
+			t.Errorf("live member %d carried no redistributed traffic", n)
+		}
+	}
+
+	// Rejoin: the full set is striped over again, including 2 as an
+	// intermediate eventually.
+	b.Restripe([]bool{true, true, true, true})
+	if b.LiveCount() != 4 || b.Restripes() != 2 {
+		t.Fatalf("after rejoin: live=%d restripes=%d", b.LiveCount(), b.Restripes())
+	}
+	// Existing flowlets stay pinned to their live paths (re-striping in a
+	// member must not reorder established flows); only flows past their
+	// flowlet timeout can pick the rejoined member up.
+	now += 2 * DefaultDelta
+	saw2 := false
+	for i := 0; i < 4000 && !saw2; i++ {
+		if route(i, 1+i%3).Next == 2 {
+			saw2 = true
+		}
+	}
+	if !saw2 {
+		t.Error("rejoined member 2 never chosen after restripe back in")
+	}
+}
+
+// TestRestripeRedividesDirectQuota checks the spread-matrix recompute:
+// with one member dead, the per-destination direct quota rises from R/4
+// to R/3, so a paced flow to one destination sees a higher direct
+// fraction than before the re-stripe.
+func TestRestripeRedividesDirectQuota(t *testing.T) {
+	directFrac := func(live []bool) float64 {
+		cfg := cfg4(false)
+		cfg.Live = live
+		b := New(cfg)
+		// Offered load to dst 1 alone at ~R/3.2: above the R/4 direct
+		// quota, below R/3.
+		bytes := 1250
+		gap := sim.Time(float64(bytes*8) / (10e9 / 3.2) * float64(sim.Second))
+		now := sim.Time(0)
+		direct := 0
+		const total = 20000
+		for i := 0; i < total; i++ {
+			p := flowPacket(uint16(i%997), bytes)
+			if d := b.Route(now, p, 1); d.Direct {
+				direct++
+			}
+			now += gap
+		}
+		return float64(direct) / total
+	}
+	f4 := directFrac(nil)                             // all live: quota R/4
+	f3 := directFrac([]bool{true, true, false, true}) // one dead: quota R/3
+	if f3 <= f4+0.1 {
+		t.Fatalf("direct fraction did not rise after restripe: all-live %.3f, one-dead %.3f", f4, f3)
+	}
+}
+
+// TestRestripeEvictsDeadFlowlets pins flowlets via a soon-dead member
+// and checks they migrate (not spray) after the re-stripe.
+func TestRestripeEvictsDeadFlowlets(t *testing.T) {
+	b := New(cfg4(true))
+	now := sim.Time(0)
+	// Pin many flows; some land on member 2 as their via.
+	for i := 0; i < 3000; i++ {
+		b.Route(now, flowPacket(uint16(i%256), 300), 1+i%3)
+		now += sim.Microsecond
+	}
+	before := b.FlowTableSize()
+	if before == 0 {
+		t.Fatal("no flowlets pinned")
+	}
+	b.Restripe([]bool{true, true, false, true})
+	for _, fl := range b.flows {
+		if fl.via == 2 {
+			t.Fatal("flowlet still pinned via dead member after restripe")
+		}
+	}
+	// Surviving packets of an evicted flow re-pin to a live path.
+	for i := 0; i < 256; i++ {
+		if d := b.Route(now, flowPacket(uint16(i), 300), 1); d.Next == 2 {
+			t.Fatalf("re-pinned flow routed via dead member")
+		}
+	}
+}
