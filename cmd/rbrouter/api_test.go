@@ -184,6 +184,100 @@ func TestAdminAPIRoutes(t *testing.T) {
 	}
 }
 
+func TestAdminAPIRSS(t *testing.T) {
+	// 2-core nodes so a bucket migration has a real destination chain.
+	fib, err := routebricks.NewFIB(
+		routebricks.Route{Prefix: netip.MustParsePrefix("10.0.0.0/16"), NextHop: 0},
+		routebricks.Route{Prefix: netip.MustParsePrefix("10.1.0.0/16"), NextHop: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := make([]*node, 2)
+	for i := range nodes {
+		nd, err := newNode(i, len(nodes), fib, defaultConfig, true, 2, click.Parallel, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			nd.ingress.Stop()
+			nd.transit.Stop()
+			nd.ext.Close()
+			nd.int_.Close()
+		})
+		nodes[i] = nd
+	}
+	srv := httptest.NewServer(newAdminMux(nodes, fib, nil, nil))
+	t.Cleanup(srv.Close)
+
+	resp, err := http.Get(srv.URL + "/api/v1/rss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET rss: %d", resp.StatusCode)
+	}
+	var docs []rssDoc
+	decodeBody(t, resp, &docs)
+	if len(docs) != 2 {
+		t.Fatalf("GET rss: %d nodes", len(docs))
+	}
+	for _, d := range docs {
+		if d.RSS == nil || d.RSS.Chains != 2 || len(d.RSS.Assignments) != d.RSS.Buckets || d.RSS.Generation != 0 {
+			t.Fatalf("node %d table: %+v", d.ID, d.RSS)
+		}
+	}
+
+	// Migrate one bucket on node 1; node 0's table must not move.
+	body := `{"node":1,"moves":[{"bucket":0,"from":0,"to":1}]}`
+	resp, err = http.Post(srv.URL+"/api/v1/rss", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST rss: %d", resp.StatusCode)
+	}
+	var doc rssDoc
+	decodeBody(t, resp, &doc)
+	if doc.ID != 1 || doc.RSS.Generation != 1 || doc.RSS.Assignments[0] != 1 {
+		t.Fatalf("after move: %+v", doc)
+	}
+	if g := nodes[0].ingress.RSS().Generation(); g != 0 {
+		t.Fatalf("node 0 table moved: generation %d", g)
+	}
+
+	// Error envelopes: bad body, bad node, empty moves, stale From
+	// (bucket 0 now lives on chain 1), destination out of range. None may
+	// disturb the table.
+	cases := []struct {
+		body string
+		want int
+	}{
+		{"not json", http.StatusBadRequest},
+		{`{"node":7,"moves":[{"bucket":0,"from":0,"to":1}]}`, http.StatusBadRequest},
+		{`{"node":1}`, http.StatusBadRequest},
+		{`{"node":1,"moves":[{"bucket":0,"from":0,"to":1}]}`, http.StatusUnprocessableEntity},
+		{`{"node":1,"moves":[{"bucket":1,"from":0,"to":9}]}`, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(srv.URL+"/api/v1/rss", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != tc.want {
+			t.Fatalf("POST rss %s: %d, want %d", tc.body, resp.StatusCode, tc.want)
+		}
+		var envelope errorEnvelope
+		decodeBody(t, resp, &envelope)
+		if envelope.Error.Code != tc.want || envelope.Error.Message == "" {
+			t.Fatalf("POST rss %s envelope: %+v", tc.body, envelope)
+		}
+	}
+	if g := nodes[1].ingress.RSS().Generation(); g != 1 {
+		t.Fatalf("rejected requests moved the table: generation %d", g)
+	}
+}
+
 func TestAdminAPIReplan(t *testing.T) {
 	srv, _, replans := apiFixture(t)
 	resp, err := http.Post(srv.URL+"/api/v1/replan", "application/json", nil)

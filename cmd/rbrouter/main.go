@@ -53,6 +53,9 @@
 //	     http://127.0.0.1:8642/api/v1/routes       # commit a route batch live
 //	curl -X DELETE 'http://127.0.0.1:8642/api/v1/routes?prefix=192.0.2.0/24'
 //	curl -X POST http://127.0.0.1:8642/api/v1/replan   # re-decide placement now
+//	curl http://127.0.0.1:8642/api/v1/rss          # per-node flow-steering tables
+//	curl -X POST -d '{"node":0,"moves":[{"bucket":5,"from":0,"to":1}]}' \
+//	     http://127.0.0.1:8642/api/v1/rss          # migrate steering buckets by hand
 //	kill -HUP <pid>               # reload -config into the running datapath
 //	rbrouter -print-graph         # dump the ingress graph as Graphviz dot and exit
 //	rbrouter -print-graph | dot -Tsvg > graph.svg
@@ -61,11 +64,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -348,6 +353,39 @@ func printPrebound(chain int) map[string]routebricks.Element {
 	}
 }
 
+// printStateClasses renders the -print-graph sidecar: every element's
+// declared state class and the graph's steering-safety verdict. It goes
+// to stderr so stdout stays pure Graphviz — `rbrouter -print-graph |
+// dot -Tsvg` keeps working with the annotation visible on the terminal.
+func printStateClasses(w io.Writer, pipe *routebricks.Pipeline) {
+	r := pipe.Router(0)
+	if r == nil {
+		return
+	}
+	fmt.Fprintf(w, "state classes:\n")
+	var perFlow, shared []string
+	for _, name := range r.Elements() {
+		el := r.Get(name)
+		sc := click.StateClassOf(el)
+		switch sc {
+		case click.PerFlow:
+			perFlow = append(perFlow, name)
+		case click.Shared:
+			shared = append(shared, name)
+		}
+		t := fmt.Sprintf("%T", el)
+		fmt.Fprintf(w, "  %-12s %-16s %s\n", name, t[strings.LastIndexByte(t, '.')+1:], sc)
+	}
+	switch {
+	case len(shared) > 0:
+		fmt.Fprintf(w, "steering: shared-state elements %v pin this graph to one chain — it will not be cloned across cores\n", shared)
+	case len(perFlow) > 0:
+		fmt.Fprintf(w, "steering: per-flow elements %v require flow-consistent dispatch — safe under PushFlow (RSS table), rejected under -steal\n", perFlow)
+	default:
+		fmt.Fprintf(w, "steering: all elements stateless — any dispatch is safe\n")
+	}
+}
+
 func newNode(id, n int, fib *routebricks.RouteAdmin, cfgText string, flowlets bool, cores int, kind click.PlanKind, steal bool) (*node, error) {
 	ext, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
@@ -466,10 +504,13 @@ func (t *udpTransit) Push(_ *click.Context, _ int, p *pkt.Packet) {
 	t.nd.send(out, p)
 }
 
-// runReader pulls UDP datagrams into per-chain input rings, steering by
-// flow hash — the RSS role. One reader per socket keeps each input ring
-// single-producer.
-func (nd *node) runReader(conn *net.UDPConn, chains int, push func(chain int, p *pkt.Packet) bool) {
+// runReader pulls UDP datagrams off one socket and hands them to push —
+// the RSS role. The caller decides the steering policy: ingress pushes
+// through the pipeline's flow-consistent indirection table (PushFlow),
+// transit hashes modulo its chain count. One reader per socket keeps
+// each input ring single-producer, which is also what makes PushFlow's
+// single-producer contract hold.
+func (nd *node) runReader(conn *net.UDPConn, push func(p *pkt.Packet) bool) {
 	defer nd.wg.Done()
 	// Each reader allocates from its own pool shard — the RSS role's
 	// half of the shared-nothing bargain: no allocation lock is ever
@@ -487,7 +528,7 @@ func (nd *node) runReader(conn *net.UDPConn, chains int, push func(chain int, p 
 		}
 		p := shard.Get(m)
 		copy(p.Data, buf[:m])
-		if !push(int(p.FlowHash()%uint64(chains)), p) {
+		if !push(p) {
 			// Receive ring overflow: the reader is the packet's last owner.
 			nd.rxDrops.Add(1)
 			shard.Put(p)
@@ -533,9 +574,17 @@ func (nd *node) start() error {
 		return err
 	}
 	nd.wg.Add(2)
-	go nd.runReader(nd.ext, nd.ingress.Chains(), nd.ingress.Push)
-	go nd.runReader(nd.int_, nd.transit.Chains(), func(chain int, p *pkt.Packet) bool {
-		return nd.transit.Input(chain).Push(p)
+	// Ingress steers through the pipeline's RSS indirection table: both
+	// directions of a 5-tuple and every fragment of a datagram land on
+	// the same chain, so cloned per-flow elements (Reassembler,
+	// FlowCounter) in a -config program stay correct — and the
+	// controller can rebalance by rewriting buckets instead of
+	// replanning. Transit is MAC-only forwarding with no per-flow state,
+	// so a plain modulo over its (fixed) chain count is enough.
+	go nd.runReader(nd.ext, nd.ingress.PushFlow)
+	transitChains := uint64(nd.transit.Chains())
+	go nd.runReader(nd.int_, func(p *pkt.Packet) bool {
+		return nd.transit.Input(int(p.FlowHash() % transitChains)).Push(p)
 	})
 	return nil
 }
@@ -594,6 +643,7 @@ func run() error {
 			return err
 		}
 		fmt.Print(pipe.DOT())
+		printStateClasses(os.Stderr, pipe)
 		return nil
 	}
 	if *cores < 1 || *cores > 64 {
@@ -767,7 +817,7 @@ func run() error {
 		srv := &http.Server{Handler: newAdminMux(nodes, fib, replanAll, nil)}
 		go srv.Serve(ln)
 		defer srv.Close()
-		fmt.Printf("admin API: http://%s/api/v1/{stats,controller,routes,replan} (/stats is a deprecated alias)\n", ln.Addr())
+		fmt.Printf("admin API: http://%s/api/v1/{stats,controller,routes,replan,rss} (/stats is a deprecated alias)\n", ln.Addr())
 	}
 
 	// Collector: count deliveries and measure reordering.

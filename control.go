@@ -8,6 +8,7 @@ import (
 
 	"routebricks/internal/click"
 	"routebricks/internal/pkt"
+	"routebricks/internal/rss"
 	"routebricks/internal/trafficgen"
 )
 
@@ -260,6 +261,24 @@ type ControllerConfig struct {
 	// StealPersist is how many consecutive still-skewed intervals after
 	// a replan trigger the steal escalation (default 2).
 	StealPersist int
+	// ReSteer opts the controller into flow re-steering as its first
+	// corrective action: on an imbalance trip it plans a bounded batch
+	// of bucket migrations (rss.PlanMoves over the interval's per-bucket
+	// packet deltas, hottest chains relieved first) and applies it
+	// through Pipeline.ReSteer — far cheaper than a replan (no
+	// recalibration, no graph rebuild, per-flow state untouched) and
+	// ordering-safe, because the rewrite lands under the reload drain
+	// barrier. The controller escalates to the configured replan action
+	// only when re-steering cannot fix the skew: no improving moves
+	// exist for the observed distribution, or imbalance persists
+	// ReSteerPersist further intervals after a re-steer. Default off.
+	ReSteer bool
+	// ReSteerMax caps buckets migrated per controller re-steer
+	// (default 8).
+	ReSteerMax int
+	// ReSteerPersist is how many consecutive still-skewed intervals
+	// after a re-steer escalate to the replan action (default 2).
+	ReSteerPersist int
 }
 
 func (c ControllerConfig) withDefaults() ControllerConfig {
@@ -280,6 +299,12 @@ func (c ControllerConfig) withDefaults() ControllerConfig {
 	}
 	if c.StealPersist <= 0 {
 		c.StealPersist = 2
+	}
+	if c.ReSteerMax <= 0 {
+		c.ReSteerMax = 8
+	}
+	if c.ReSteerPersist <= 0 {
+		c.ReSteerPersist = 2
 	}
 	// An inverted band (LowWater above HighWater — e.g. a user-set
 	// HighWater under the LowWater default) would re-arm at levels that
@@ -316,6 +341,11 @@ type ControllerState struct {
 	// because imbalance persisted across a replan (see
 	// ControllerConfig.StealEscalation).
 	StealEscalations uint64 `json:"steal_escalations,omitempty"`
+	// ReSteers counts controller-driven steering-table rewrites, and
+	// MovedBuckets the buckets those rewrites migrated (see
+	// ControllerConfig.ReSteer).
+	ReSteers     uint64 `json:"re_steers,omitempty"`
+	MovedBuckets uint64 `json:"moved_buckets,omitempty"`
 	// CoreSteals carries the most recent non-idle interval's per-core
 	// steal traffic — packets each core pulled from siblings (Steals)
 	// and had pulled from it (Stolen), per observation interval.
@@ -356,6 +386,12 @@ type Controller struct {
 	// persist counts consecutive still-skewed intervals since the last
 	// replan, for the steal escalation.
 	persist int
+	// steered marks that the last corrective action was a re-steer;
+	// steerPersist counts consecutive still-skewed intervals since it,
+	// for the escalation to a full replan. Both reset when the load
+	// settles (re-arm) or a replan installs a fresh plan.
+	steered      bool
+	steerPersist int
 
 	started  atomic.Bool
 	stopOnce sync.Once
@@ -462,6 +498,10 @@ func (c *Controller) Observe() bool {
 		// trip point (and backpressure has stopped growing).
 		if d.Imbalance < c.cfg.LowWater && !rejectedTrip {
 			c.state.Armed = true
+			// A settled load closes the re-steer episode: the next trip
+			// starts a fresh ladder from the cheap action.
+			c.steered = false
+			c.steerPersist = 0
 		}
 	case d.Imbalance >= c.cfg.HighWater || rejectedTrip:
 		reason := fmt.Sprintf("imbalance %.2f >= %.2f", d.Imbalance, c.cfg.HighWater)
@@ -471,6 +511,33 @@ func (c *Controller) Observe() bool {
 		c.state.Armed = false
 		c.state.LastReason = reason
 		trip = true
+	}
+	// Re-steering first: a trip with the flow steerer enabled is handled
+	// by migrating the interval's hottest buckets off the hottest chains
+	// — when the observed distribution admits improving moves at all.
+	// An empty plan (one chain, one unsplittable hot bucket, balanced
+	// buckets despite a rejection trip) falls through to the replan.
+	var moves []Move
+	if trip && c.cfg.ReSteer && d.RSS != nil {
+		moves = rss.PlanMoves(d.RSS.Assignments, d.RSS.Counts, d.RSS.Chains, c.cfg.ReSteerMax)
+	}
+	// Re-steer escalation: the table was rewritten but the skew is still
+	// here (a flow distribution no bucket migration can flatten —
+	// PlanMoves already did what it could). The controller sits
+	// disarmed, so after ReSteerPersist such intervals it escalates to
+	// the replan action.
+	if c.cfg.ReSteer && !trip && !c.state.Armed && c.steered {
+		if d.Imbalance >= c.cfg.HighWater {
+			if c.steerPersist++; c.steerPersist >= c.cfg.ReSteerPersist {
+				trip = true
+				c.steerPersist = 0
+				c.steered = false
+				c.state.LastReason = fmt.Sprintf(
+					"re-steer escalation: imbalance %.2f persisted across re-steer", d.Imbalance)
+			}
+		} else {
+			c.steerPersist = 0
+		}
 	}
 	// Steal escalation: a replan fired but the skew is still here. The
 	// controller sits disarmed (the load never settles below LowWater),
@@ -506,6 +573,31 @@ func (c *Controller) Observe() bool {
 		c.prev = c.pipe.Snapshot()
 		return true
 	}
+	if len(moves) > 0 {
+		// The trip is handled by a re-steer: the table rewrite runs
+		// outside c.mu for the same reason the replan does (it holds the
+		// pipeline through a drain barrier).
+		err := c.pipe.ReSteer(moves)
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if err != nil {
+			// Same non-latching contract as a failed replan: re-arm so the
+			// next tripping interval retries.
+			c.state.LastError = err.Error()
+			c.state.Armed = true
+			return false
+		}
+		c.state.LastError = ""
+		c.state.ReSteers++
+		c.state.MovedBuckets += uint64(len(moves))
+		c.state.LastReason += fmt.Sprintf(" → re-steered %d buckets", len(moves))
+		c.steered = true
+		c.steerPersist = 0
+		// The drain retired in-flight packets; rebase so the next interval
+		// measures the rewritten assignment, not the skew that caused it.
+		c.prev = c.pipe.Snapshot()
+		return true
+	}
 	if !trip {
 		return false
 	}
@@ -529,6 +621,8 @@ func (c *Controller) Observe() bool {
 	c.state.LastError = ""
 	c.state.Replans++
 	c.persist = 0 // the new plan gets a fresh persistence window
+	c.steered = false
+	c.steerPersist = 0
 	// The swap reset the pipeline's counters; rebase the next delta.
 	c.prev = c.pipe.Snapshot()
 	return true
@@ -618,6 +712,16 @@ func (p *Pipeline) reload(text string, opts Options, useCurrent bool) error {
 	p.calib = calib
 	p.generation++
 	p.ctx = click.Context{}
+	// The steering table outlives the swap (like the FIB), but its
+	// chain indexes must match the new plan's width: restripe only when
+	// the width changed, so re-steers survive same-width swaps. Still
+	// inside the exclusive section, so PushFlow never sees a stale
+	// width.
+	if p.rssTable != nil && p.rssTable.Chains() != newPlan.Chains() {
+		if err := p.rssTable.Restripe(newPlan.Chains()); err != nil {
+			return err
+		}
+	}
 	if wasRunning {
 		if err := p.plan.Start(); err != nil {
 			return err

@@ -126,6 +126,15 @@ type PlanConfig struct {
 	// boundaries); nil uses NewBusCostModel(Topo, 0).
 	Cost CostModel
 
+	// FlowSteered declares that whatever feeds the plan's input rings
+	// steers packets flow-consistently — every packet of a flow lands on
+	// the same chain, e.g. through an rss.Table keyed on the symmetric
+	// flow hash. That guarantee is what makes cloning PerFlow elements
+	// across chains safe (each clone then owns a disjoint flow set), so
+	// NewPlan rejects a multi-chain plan containing PerFlow elements
+	// without it.
+	FlowSteered bool
+
 	// Steal lets a first-stage core whose own input ring runs dry drain
 	// a hot sibling chain's input ring instead of idling — a bounded
 	// batch steal from the consumer end, serialized by the ring's
@@ -267,6 +276,30 @@ func NewPlan(cfg PlanConfig) (*Plan, error) {
 	first, err := prog.Instantiate(0)
 	if err != nil {
 		return nil, err
+	}
+
+	// State-classification gate. A plan with more than one chain clones
+	// the whole graph per chain, splitting every element's state N ways;
+	// chain 0's instance declares which elements make that unsafe.
+	wouldChains := cfg.Cores
+	if cfg.Kind == Pipelined {
+		wouldChains = cfg.Cores / min(cfg.Cores, cuttableGroups(first.noCut))
+	}
+	if wouldChains > 1 {
+		if names := first.ElementsOfClass(Shared); len(names) > 0 {
+			return nil, fmt.Errorf("click: %d-chain %s plan would clone shared-state elements %v; shared elements pin the graph to a single chain",
+				wouldChains, cfg.Kind, names)
+		}
+		if names := first.ElementsOfClass(PerFlow); len(names) > 0 {
+			if !cfg.FlowSteered {
+				return nil, fmt.Errorf("click: %d-chain %s plan would split per-flow state across clones of %v; feed the chains through flow-consistent steering (PlanConfig.FlowSteered) or run one chain",
+					wouldChains, cfg.Kind, names)
+			}
+			if cfg.Steal {
+				return nil, fmt.Errorf("click: work stealing moves packets across chains, breaking the flow affinity the per-flow elements %v depend on; disable Steal or run one chain",
+					names)
+			}
+		}
 	}
 
 	if cfg.StealMin <= 0 {

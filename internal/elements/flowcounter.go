@@ -1,0 +1,72 @@
+package elements
+
+import (
+	"routebricks/internal/click"
+	"routebricks/internal/pkt"
+)
+
+// FlowCounter counts packets and bytes per 5-tuple — Click's
+// IPRateMonitor in miniature, and the canonical PerFlow element: its
+// map is keyed by flow, so cloning it across chains is correct exactly
+// when every packet of a flow reaches the same clone. Under
+// flow-consistent steering the clones partition the flow space and
+// merging their snapshots reproduces the single-core counts;
+// TestFlowConsistency asserts precisely that.
+type FlowCounter struct {
+	click.Base
+	flows map[pkt.FlowKey]*FlowStat
+
+	packets uint64
+	bytes   uint64
+}
+
+// FlowStat is one flow's tally.
+type FlowStat struct {
+	Packets uint64 `json:"packets"`
+	Bytes   uint64 `json:"bytes"`
+}
+
+// NewFlowCounter builds the element.
+func NewFlowCounter() *FlowCounter {
+	return &FlowCounter{flows: make(map[pkt.FlowKey]*FlowStat)}
+}
+
+// InPorts reports 1.
+func (c *FlowCounter) InPorts() int { return 1 }
+
+// OutPorts reports 1.
+func (c *FlowCounter) OutPorts() int { return 1 }
+
+// Push tallies and forwards.
+func (c *FlowCounter) Push(ctx *click.Context, _ int, p *pkt.Packet) {
+	k := p.Flow()
+	st := c.flows[k]
+	if st == nil {
+		st = &FlowStat{}
+		c.flows[k] = st
+	}
+	st.Packets++
+	st.Bytes += uint64(p.Len())
+	c.packets++
+	c.bytes += uint64(p.Len())
+	c.Out(ctx, 0, p)
+}
+
+// Flows reports how many distinct 5-tuples were seen.
+func (c *FlowCounter) Flows() int { return len(c.flows) }
+
+// Packets reports the total packet count (all flows).
+func (c *FlowCounter) Packets() uint64 { return c.packets }
+
+// Bytes reports the total byte count (all flows).
+func (c *FlowCounter) Bytes() uint64 { return c.bytes }
+
+// Snapshot copies the per-flow table — what tests merge across chains
+// to compare against a single-core oracle.
+func (c *FlowCounter) Snapshot() map[pkt.FlowKey]FlowStat {
+	out := make(map[pkt.FlowKey]FlowStat, len(c.flows))
+	for k, st := range c.flows {
+		out[k] = *st
+	}
+	return out
+}

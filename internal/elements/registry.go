@@ -26,6 +26,12 @@ func StandardRegistry() click.Registry {
 			}
 			return &Counter{}, nil
 		},
+		"FlowCounter": func(args []string) (click.Element, error) {
+			if err := arity("FlowCounter", args, 0); err != nil {
+				return nil, err
+			}
+			return NewFlowCounter(), nil
+		},
 		"Discard": func(args []string) (click.Element, error) {
 			if err := arity("Discard", args, 0); err != nil {
 				return nil, err

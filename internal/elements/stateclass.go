@@ -1,0 +1,52 @@
+package elements
+
+import "routebricks/internal/click"
+
+// State classifications for the stateful elements — the declarations
+// click.NewPlan's cloning gate consults. Elements without a StateClass
+// method default to click.Stateless, which covers the majority here:
+// pure transforms (DecIPTTL, EtherMirror, SetEtherDst), elements whose
+// per-instance counters aggregate correctly across clones (Counter,
+// CheckIPHeader, IPClassifier, LPMLookup — the FIB itself is RCU-shared
+// behind them), elements that only build fresh packets (ICMPError,
+// Fragmenter), and the device endpoints, which bind per-chain rings by
+// construction. TestStateClassComplete forces every element type to
+// appear in its expectation table, so a new element cannot ship
+// unclassified.
+
+// StateClass reports PerFlow: reassembly buffers key on
+// (src, dst, id, proto), so clones are correct exactly when every
+// fragment of a datagram reaches the same clone — which the fragment
+// rule of pkt.RSSHash (3-tuple for fragments) guarantees under
+// flow-consistent steering.
+func (r *Reassembler) StateClass() click.StateClass { return click.PerFlow }
+
+// StateClass reports PerFlow: counts key on the 5-tuple, so clones
+// partition correctly only when flows have core affinity.
+func (c *FlowCounter) StateClass() click.StateClass { return click.PerFlow }
+
+// StateClass reports Shared: the learned IP→MAC table and the pending
+// queues serve whatever flow needs the next hop, and a reply arriving
+// on one clone would leave the others blind.
+func (q *ARPQuerier) StateClass() click.StateClass { return click.Shared }
+
+// StateClass reports Shared: the EWMA averages one transmit ring's
+// occupancy; clones would each see only a fraction of the drops they
+// are supposed to spread.
+func (r *RED) StateClass() click.StateClass { return click.Shared }
+
+// StateClass reports Shared: the token bucket shapes one link — N
+// clones would shape to N times the configured rate.
+func (s *Shaper) StateClass() click.StateClass { return click.Shared }
+
+// StateClass reports Shared: ESP sequence numbers are per-SA and must
+// be globally monotonic; cloned tunnels would reuse sequence numbers
+// and trip the peer's anti-replay window.
+func (e *ESPEncap) StateClass() click.StateClass { return click.Shared }
+
+// StateClass reports Shared: the anti-replay window is per-SA state.
+func (d *ESPDecap) StateClass() click.StateClass { return click.Shared }
+
+// StateClass reports Shared: all clones would interleave writes into
+// the one pcap stream.
+func (t *Tap) StateClass() click.StateClass { return click.Shared }

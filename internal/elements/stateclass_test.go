@@ -1,0 +1,108 @@
+package elements
+
+import (
+	"testing"
+
+	"routebricks/internal/click"
+)
+
+// wantStateClass is the reviewed classification of every element type.
+// The completeness test below walks the package source (elementTypes),
+// so adding an element without deciding its class fails CI — an
+// unclassified stateful element defaulting to Stateless is exactly the
+// silent state-splitting bug the RSS layer exists to prevent.
+var wantStateClass = map[string]click.StateClass{
+	// Pure transforms, per-packet decisions, fresh-packet builders, and
+	// per-instance counters that aggregate correctly across clones.
+	"ARPResponder":  click.Stateless, // static owned-address map, never mutated
+	"CheckIPHeader": click.Stateless,
+	"Classifier":    click.Stateless,
+	"Counter":       click.Stateless, // totals sum across clones
+	"DecIPTTL":      click.Stateless,
+	"Discard":       click.Stateless,
+	"EtherMirror":   click.Stateless,
+	"Fragmenter":    click.Stateless,
+	"HopSwitch":     click.Stateless,
+	"ICMPError":     click.Stateless,
+	"IPClassifier":  click.Stateless, // match counters sum across clones
+	"LPMLookup":     click.Stateless, // the FIB behind it is RCU-shared already
+	"Paint":         click.Stateless,
+	"PaintSwitch":   click.Stateless,
+	"PollDevice":    click.Stateless, // binds its own per-chain ring
+	"SetEtherDst":   click.Stateless,
+	"Sink":          click.Stateless, // atomic counters, documented concurrent-safe
+	"Stamp":         click.Stateless,
+	"Tee":           click.Stateless,
+	"ToDevice":      click.Stateless, // binds its own per-chain ring
+
+	// Flow-keyed state: clones partition correctly only behind
+	// flow-consistent steering.
+	"FlowCounter": click.PerFlow,
+	"Reassembler": click.PerFlow,
+
+	// Process-global state: never safe to clone.
+	"ARPQuerier": click.Shared, // learned MAC table + pending queues
+	"ESPDecap":   click.Shared, // per-SA anti-replay window
+	"ESPEncap":   click.Shared, // per-SA sequence numbers
+	"RED":        click.Shared, // EWMA over one transmit ring
+	"Shaper":     click.Shared, // token bucket shaping one link
+	"Tap":        click.Shared, // one pcap stream
+}
+
+// liveInstance builds a minimal instance of an element class so the
+// declared classification can be checked against the live method set.
+// Registered classes come from their factories; resource-bound ones are
+// zero values (StateClass methods read no fields).
+func liveInstance(t *testing.T, class string) click.Element {
+	t.Helper()
+	if factory, ok := StandardRegistry()[class]; ok {
+		el, err := factory(sampleArgs[class])
+		if err != nil {
+			t.Fatalf("%s factory: %v", class, err)
+		}
+		return el
+	}
+	switch class {
+	case "PollDevice":
+		return &PollDevice{}
+	case "ToDevice":
+		return &ToDevice{}
+	case "RED":
+		return &RED{}
+	case "LPMLookup":
+		return &LPMLookup{}
+	case "ESPEncap":
+		return &ESPEncap{}
+	case "ESPDecap":
+		return &ESPDecap{}
+	case "Tap":
+		return &Tap{}
+	}
+	t.Fatalf("no way to build %s — extend liveInstance", class)
+	return nil
+}
+
+// TestStateClassComplete is the two-way classification gate: every
+// element type the package ships appears in wantStateClass, every entry
+// still names a real element type, and the class a live instance
+// reports through click.StateClassOf matches the reviewed table.
+func TestStateClassComplete(t *testing.T) {
+	types := elementTypes(t)
+	byName := map[string]bool{}
+	for _, name := range types {
+		byName[name] = true
+		want, ok := wantStateClass[name]
+		if !ok {
+			t.Errorf("element %s has no entry in wantStateClass — decide whether its state is stateless, per-flow, or shared", name)
+			continue
+		}
+		if got := click.StateClassOf(liveInstance(t, name)); got != want {
+			t.Errorf("%s: declared class %s, wantStateClass says %s", name, got, want)
+		}
+	}
+	for name := range wantStateClass {
+		if !byName[name] {
+			t.Errorf("wantStateClass lists %s, which is no longer an element type", name)
+		}
+	}
+}

@@ -64,3 +64,47 @@ func (p *Packet) FlowHash() uint64 {
 	}
 	return p.FlowID
 }
+
+// SymmetricHash mixes the 5-tuple like Hash, but canonicalizes the
+// direction first so both halves of a bidirectional flow produce the
+// same value — the property RSS steering needs to land a connection's
+// request and reply traffic on the same core. The (address, port) pairs
+// swap as units rather than each field sorting independently, so two
+// distinct flows that happen to share sorted endpoints don't collide.
+func (k FlowKey) SymmetricHash() uint64 {
+	if k.Dst < k.Src || (k.Dst == k.Src && k.DstPort < k.SrcPort) {
+		k.Src, k.Dst = k.Dst, k.Src
+		k.SrcPort, k.DstPort = k.DstPort, k.SrcPort
+	}
+	return k.Hash()
+}
+
+// RSSHash returns (and caches) the symmetric steering hash used to pick
+// an input queue. Fragments past the first carry no L4 header, so any
+// fragment of a fragmented datagram (MF set or nonzero offset) hashes
+// on addresses and protocol alone — the 3-tuple, exactly what RSS NICs
+// fall back to — which keeps a whole fragment train on one core, where
+// the Reassembler's partial-datagram state lives.
+func (p *Packet) RSSHash() uint64 {
+	if p.rssHash == 0 {
+		k := p.Flow()
+		ih := p.IPv4()
+		if ih.MF() || ih.FragOffset() != 0 {
+			k.SrcPort, k.DstPort = 0, 0
+		}
+		p.rssHash = k.SymmetricHash()
+		if p.rssHash == 0 {
+			p.rssHash = 1 // reserve 0 as "unset"
+		}
+	}
+	return p.rssHash
+}
+
+// InvalidateFlowHash clears both cached hashes. Elements that rewrite
+// any field the 5-tuple covers (addresses, ports, protocol, the
+// fragmentation words) must call it before letting the packet go
+// downstream; TTL decrements and checksum updates don't need to.
+func (p *Packet) InvalidateFlowHash() {
+	p.FlowID = 0
+	p.rssHash = 0
+}

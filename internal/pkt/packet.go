@@ -76,8 +76,14 @@ type Packet struct {
 	SeqNo     uint64
 	FlowID    uint64 // cached flow hash; 0 means not yet computed
 	VLBPhase  int    // 0 = fresh, 1 = load-balanced once, 2 = at output node
-	Paint     byte   // generic element annotation (Click's Paint)
-	NextHop   int    // route-lookup result annotation (Click's dst anno)
+
+	// rssHash caches the symmetric RSS steering hash (see RSSHash);
+	// 0 means not yet computed. Clone copies it, so a Tee'd packet
+	// steers to the same bucket as its original; Pool.Get and Fragment
+	// hand out packets with it unset.
+	rssHash uint64
+	Paint   byte // generic element annotation (Click's Paint)
+	NextHop int  // route-lookup result annotation (Click's dst anno)
 
 	// pooled guards against double-free: set while the packet sits on a
 	// Pool freelist, cleared when Get hands it out again. It is a uint32

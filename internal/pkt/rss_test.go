@@ -1,0 +1,99 @@
+package pkt
+
+import (
+	"net/netip"
+	"testing"
+)
+
+var (
+	rssA = netip.MustParseAddr("10.1.0.1")
+	rssB = netip.MustParseAddr("10.2.0.2")
+)
+
+func TestSymmetricHashBothDirections(t *testing.T) {
+	fwd := FlowKey{Src: 0x0a010001, Dst: 0x0a020002, SrcPort: 3333, DstPort: 80, Proto: ProtoTCP}
+	rev := FlowKey{Src: 0x0a020002, Dst: 0x0a010001, SrcPort: 80, DstPort: 3333, Proto: ProtoTCP}
+	if fwd.SymmetricHash() != rev.SymmetricHash() {
+		t.Fatalf("directions hash apart: %x vs %x", fwd.SymmetricHash(), rev.SymmetricHash())
+	}
+	if fwd.Hash() == rev.Hash() {
+		t.Fatalf("plain Hash unexpectedly symmetric")
+	}
+	// Pairs swap as units: (A:1, B:2) and (A:2, B:1) are different flows
+	// even though the sorted field multisets match.
+	x := FlowKey{Src: 1, Dst: 2, SrcPort: 1, DstPort: 2, Proto: ProtoUDP}
+	y := FlowKey{Src: 1, Dst: 2, SrcPort: 2, DstPort: 1, Proto: ProtoUDP}
+	if x.SymmetricHash() == y.SymmetricHash() {
+		t.Fatalf("distinct flows with equal sorted endpoints collide")
+	}
+}
+
+func TestRSSHashCachedAndCloned(t *testing.T) {
+	p := New(128, rssA, rssB, 1234, 80)
+	h := p.RSSHash()
+	if h == 0 {
+		t.Fatalf("RSSHash returned reserved 0")
+	}
+	q := p.Clone()
+	if q.rssHash != h {
+		t.Fatalf("clone lost the cached steer hash: %x vs %x", q.rssHash, h)
+	}
+	// Reply direction steers to the same value.
+	r := New(128, rssB, rssA, 80, 1234)
+	if r.RSSHash() != h {
+		t.Fatalf("reply direction steers apart: %x vs %x", r.RSSHash(), h)
+	}
+	p.InvalidateFlowHash()
+	if p.rssHash != 0 || p.FlowID != 0 {
+		t.Fatalf("InvalidateFlowHash left caches set")
+	}
+	DefaultPool.Put(p)
+	DefaultPool.Put(q)
+	DefaultPool.Put(r)
+}
+
+func TestRSSHashPoolReset(t *testing.T) {
+	p := New(128, rssA, rssB, 1234, 80)
+	p.RSSHash()
+	DefaultPool.Put(p)
+	q := DefaultPool.Get(128)
+	defer DefaultPool.Put(q)
+	if q.rssHash != 0 {
+		t.Fatalf("pool handed out a packet with a stale steer hash %x", q.rssHash)
+	}
+}
+
+// Every fragment of a datagram must steer with its head: fragments past
+// the first have no ports, so the whole train hashes on the 3-tuple.
+func TestRSSHashFragmentTrain(t *testing.T) {
+	p := New(1400, rssA, rssB, 1234, 80)
+	p.RSSHash() // cache on the unfragmented original
+	frags := p.Fragment(576)
+	if len(frags) < 2 {
+		t.Fatalf("expected multiple fragments, got %d", len(frags))
+	}
+	want := frags[0].RSSHash()
+	for i, f := range frags {
+		if f.rssHash == 0 && i == 0 {
+			t.Fatalf("RSSHash did not cache")
+		}
+		if f.RSSHash() != want {
+			t.Fatalf("fragment %d steers apart: %x vs %x", i, f.RSSHash(), want)
+		}
+	}
+	// The 3-tuple rule is direction-symmetric too.
+	r := New(1400, rssB, rssA, 80, 1234)
+	rfrags := r.Fragment(576)
+	if rfrags[1].RSSHash() != want {
+		t.Fatalf("reverse fragments steer apart: %x vs %x", rfrags[1].RSSHash(), want)
+	}
+	// An unfragmented packet of the same flow hashes with ports — the
+	// fragment fallback only applies to actual fragments.
+	u := New(128, rssA, rssB, 1234, 80)
+	defer DefaultPool.Put(u)
+	if u.RSSHash() == want {
+		t.Fatalf("unfragmented packet fell back to the 3-tuple hash")
+	}
+	DefaultPool.Put(p)
+	DefaultPool.Put(r)
+}

@@ -1,0 +1,197 @@
+package rss
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(100, 4); err == nil {
+		t.Fatalf("accepted non-power-of-two bucket count")
+	}
+	if _, err := New(128, 0); err == nil {
+		t.Fatalf("accepted zero chains")
+	}
+	tbl, err := New(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Buckets() != DefaultBuckets || tbl.Chains() != 3 {
+		t.Fatalf("defaults wrong: %d buckets, %d chains", tbl.Buckets(), tbl.Chains())
+	}
+}
+
+func TestStripeCoversAllChains(t *testing.T) {
+	tbl, _ := New(16, 4)
+	seen := make(map[int]int)
+	for _, c := range tbl.Assignments() {
+		seen[c]++
+	}
+	for c := 0; c < 4; c++ {
+		if seen[c] != 4 {
+			t.Fatalf("chain %d owns %d buckets, want 4", c, seen[c])
+		}
+	}
+	// Steer respects the assignment and masks the hash.
+	for h := uint64(0); h < 64; h++ {
+		b, c := tbl.Steer(h)
+		if b != int(h%16) || c != tbl.Assignments()[b] {
+			t.Fatalf("Steer(%d) = (%d,%d)", h, b, c)
+		}
+	}
+}
+
+func TestApplyAndStaleRejection(t *testing.T) {
+	tbl, _ := New(8, 2)
+	if err := tbl.Apply([]Move{{Bucket: 0, From: 0, To: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, c := tbl.Steer(0); c != 1 {
+		t.Fatalf("bucket 0 still on chain %d", c)
+	}
+	if tbl.Generation() != 1 || tbl.Steers() != 1 || tbl.Moved() != 1 {
+		t.Fatalf("counters: gen=%d steers=%d moved=%d", tbl.Generation(), tbl.Steers(), tbl.Moved())
+	}
+	// Stale From: the whole batch must be rejected, including valid moves.
+	err := tbl.Apply([]Move{{Bucket: 1, From: 1, To: 0}, {Bucket: 0, From: 0, To: 1}})
+	if err == nil {
+		t.Fatalf("accepted a stale move")
+	}
+	if _, c := tbl.Steer(1); c != 1 {
+		t.Fatalf("rejected batch half-applied: bucket 1 moved to %d", c)
+	}
+	if err := tbl.Apply([]Move{{Bucket: 2, From: 0, To: 5}}); err == nil {
+		t.Fatalf("accepted an out-of-range target chain")
+	}
+	if err := tbl.Apply(nil); err != nil {
+		t.Fatalf("empty batch errored: %v", err)
+	}
+	if tbl.Steers() != 1 {
+		t.Fatalf("empty batch counted as a steer event")
+	}
+}
+
+func TestRestripeKeepsCounts(t *testing.T) {
+	tbl, _ := New(8, 2)
+	tbl.Tick(3)
+	tbl.Tick(3)
+	tbl.Apply([]Move{{Bucket: 0, From: 0, To: 1}})
+	if err := tbl.Restripe(4); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Chains() != 4 {
+		t.Fatalf("chains = %d after restripe", tbl.Chains())
+	}
+	if _, c := tbl.Steer(0); c != 0 {
+		t.Fatalf("restripe kept old steering: bucket 0 on %d", c)
+	}
+	if got := tbl.Counts()[3]; got != 2 {
+		t.Fatalf("restripe lost bucket counts: %d", got)
+	}
+}
+
+// Writers publish whole views; readers never see a torn table. Run
+// under -race to make the claim mean something.
+func TestConcurrentSteerAndApply(t *testing.T) {
+	tbl, _ := New(32, 4)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for h := uint64(0); ; h++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b, c := tbl.Steer(h)
+				if c < 0 || c >= 4 {
+					panic("torn chain index")
+				}
+				tbl.Tick(b)
+			}
+		}()
+	}
+	for i := 0; i < 200; i++ {
+		a := tbl.Assignments()
+		b := i % 32
+		tbl.Apply([]Move{{Bucket: b, From: a[b], To: (a[b] + 1) % 4}})
+	}
+	close(stop)
+	wg.Wait()
+	if tbl.Steers() != 200 {
+		t.Fatalf("steers = %d", tbl.Steers())
+	}
+}
+
+func TestPlanMovesFlattensSkew(t *testing.T) {
+	// All load on chain 0's buckets: 4 chains, 16 buckets.
+	assign := make([]int, 16)
+	load := make([]uint64, 16)
+	for b := range assign {
+		assign[b] = b % 4
+	}
+	// Chain 0 owns buckets 0,4,8,12 — pile the load there.
+	load[0], load[4], load[8], load[12] = 400, 300, 200, 100
+	moves := PlanMoves(assign, load, 4, 0)
+	if len(moves) == 0 {
+		t.Fatalf("no moves planned for full skew")
+	}
+	after := append([]int(nil), assign...)
+	seen := make(map[int]bool)
+	for _, m := range moves {
+		if seen[m.Bucket] {
+			t.Fatalf("bucket %d moved twice (flap)", m.Bucket)
+		}
+		seen[m.Bucket] = true
+		if after[m.Bucket] != m.From {
+			t.Fatalf("move %v does not match working state", m)
+		}
+		after[m.Bucket] = m.To
+	}
+	if got, want := Imbalance(after, load, 4), Imbalance(assign, load, 4); got >= want {
+		t.Fatalf("imbalance did not improve: %.2f -> %.2f", want, got)
+	}
+	// Deterministic: same inputs, same plan.
+	again := PlanMoves(assign, load, 4, 0)
+	if len(again) != len(moves) {
+		t.Fatalf("plan not deterministic: %d vs %d moves", len(again), len(moves))
+	}
+	for i := range moves {
+		if moves[i] != again[i] {
+			t.Fatalf("plan not deterministic at %d: %v vs %v", i, moves[i], again[i])
+		}
+	}
+}
+
+func TestPlanMovesNeverWorsens(t *testing.T) {
+	// One huge bucket: moving it would just swap which chain is hot,
+	// so the planner must leave it alone.
+	assign := []int{0, 1}
+	load := []uint64{1000, 10}
+	if moves := PlanMoves(assign, load, 2, 0); len(moves) != 0 {
+		t.Fatalf("planned %v for an unfixable single-bucket skew", moves)
+	}
+	// Balanced load: nothing to do.
+	if moves := PlanMoves([]int{0, 1, 0, 1}, []uint64{5, 5, 5, 5}, 2, 0); len(moves) != 0 {
+		t.Fatalf("planned %v for balanced load", moves)
+	}
+	// Single chain: steering has no lever.
+	if moves := PlanMoves([]int{0, 0}, []uint64{9, 1}, 1, 0); moves != nil {
+		t.Fatalf("planned %v for one chain", moves)
+	}
+}
+
+func TestPlanMovesRespectsCap(t *testing.T) {
+	assign := make([]int, 8)
+	load := make([]uint64, 8)
+	for b := range load {
+		load[b] = uint64(10 + b)
+	}
+	moves := PlanMoves(assign, load, 4, 2)
+	if len(moves) > 2 {
+		t.Fatalf("cap ignored: %d moves", len(moves))
+	}
+}

@@ -1,0 +1,94 @@
+package rss
+
+// PlanMoves decides which buckets to migrate to flatten a skewed load,
+// given the current bucket→chain assignment and the per-bucket packet
+// load observed over the last interval. It is a pure function of its
+// inputs — deterministic, so the controller's decisions are replayable
+// in tests and diffable by CI under pinned inputs.
+//
+// Greedy: repeatedly take the hottest chain's heaviest bucket and hand
+// it to the coldest chain, but only while the move strictly narrows the
+// hot−cold spread (bucket load must be positive and smaller than the
+// gap — moving a bucket heavier than the gap would just swap which
+// chain is hot, the flapping failure mode). A bucket moves at most once
+// per call. Ties break toward the lowest index. At most maxMoves
+// buckets move (0 means no cap).
+func PlanMoves(assign []int, load []uint64, chains, maxMoves int) []Move {
+	if len(assign) != len(load) || chains < 2 {
+		return nil
+	}
+	owner := append([]int(nil), assign...)
+	perChain := make([]uint64, chains)
+	for b, c := range owner {
+		if c < 0 || c >= chains {
+			return nil
+		}
+		perChain[c] += load[b]
+	}
+	movedBucket := make([]bool, len(owner))
+	var moves []Move
+	for maxMoves == 0 || len(moves) < maxMoves {
+		hot, cold := 0, 0
+		for c := 1; c < chains; c++ {
+			if perChain[c] > perChain[hot] {
+				hot = c
+			}
+			if perChain[c] < perChain[cold] {
+				cold = c
+			}
+		}
+		gap := perChain[hot] - perChain[cold]
+		if gap == 0 {
+			break
+		}
+		// Heaviest not-yet-moved bucket on the hot chain that still
+		// strictly narrows the spread.
+		best := -1
+		for b, c := range owner {
+			if c != hot || movedBucket[b] || load[b] == 0 || load[b] >= gap {
+				continue
+			}
+			if best == -1 || load[b] > load[best] {
+				best = b
+			}
+		}
+		if best == -1 {
+			break
+		}
+		moves = append(moves, Move{Bucket: best, From: hot, To: cold})
+		owner[best] = cold
+		movedBucket[best] = true
+		perChain[hot] -= load[best]
+		perChain[cold] += load[best]
+	}
+	return moves
+}
+
+// Imbalance reports max/mean per-chain load implied by an assignment
+// and per-bucket load — the same ratio the controller's hysteresis
+// thresholds are written against. Returns 1 for degenerate inputs.
+func Imbalance(assign []int, load []uint64, chains int) float64 {
+	if len(assign) != len(load) || chains < 1 {
+		return 1
+	}
+	perChain := make([]uint64, chains)
+	var total uint64
+	for b, c := range assign {
+		if c < 0 || c >= chains {
+			return 1
+		}
+		perChain[c] += load[b]
+		total += load[b]
+	}
+	if total == 0 {
+		return 1
+	}
+	var max uint64
+	for _, v := range perChain {
+		if v > max {
+			max = v
+		}
+	}
+	mean := float64(total) / float64(chains)
+	return float64(max) / mean
+}

@@ -1,0 +1,175 @@
+// Package rss implements flow-consistent receive-side steering: a
+// RETA-style indirection table mapping flow-hash buckets to datapath
+// chains, rewritable at runtime without stopping the readers.
+//
+// This is the software half of the NIC feature the paper leans on
+// (§4.1: "a server with multiple queues per NIC") — the hash spreads
+// flows over a fixed set of buckets, and the small bucket→chain table
+// is the lever an operator (or the replan controller) rewrites to move
+// load between cores without breaking flow affinity: every packet of a
+// flow keeps landing on whichever chain currently owns its bucket.
+//
+// Concurrency follows lpm.LiveTable's RCU generation-pointer pattern:
+// readers pin one immutable view per packet with a single atomic load;
+// writers build the next view aside under a mutex and publish it
+// atomically. Per-bucket packet counters live on the Table, not the
+// view, so they are monotonic across rewrites and plan generations —
+// exactly like the pool counters that Snapshot.Delta subtracts.
+package rss
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultBuckets is the indirection table size when the caller does not
+// choose one: 128 buckets, the size of a classic NIC RETA table. Far
+// more buckets than chains, so re-steering moves load in fine steps.
+const DefaultBuckets = 128
+
+// view is one immutable generation of the indirection table.
+type view struct {
+	assign []int32 // bucket → chain
+	mask   uint64  // len(assign)-1; buckets are a power of two
+	chains int
+}
+
+// Table is the rewritable bucket→chain indirection layer. All methods
+// are safe for concurrent use; Steer is wait-free for readers.
+type Table struct {
+	mu  sync.Mutex // serializes writers (Apply, Restripe)
+	cur atomic.Pointer[view]
+
+	gen    atomic.Uint64 // bumped once per published rewrite
+	steers atomic.Uint64 // re-steer events (Apply calls that moved buckets)
+	moved  atomic.Uint64 // total buckets moved across all events
+
+	counts []atomic.Uint64 // per-bucket packets, monotonic forever
+}
+
+// New builds a table of the given bucket count (a power of two; 0 means
+// DefaultBuckets) striped round-robin over chains.
+func New(buckets, chains int) (*Table, error) {
+	if buckets == 0 {
+		buckets = DefaultBuckets
+	}
+	if buckets < 1 || bits.OnesCount(uint(buckets)) != 1 {
+		return nil, fmt.Errorf("rss: bucket count %d is not a power of two", buckets)
+	}
+	if chains < 1 {
+		return nil, fmt.Errorf("rss: need at least one chain, got %d", chains)
+	}
+	t := &Table{counts: make([]atomic.Uint64, buckets)}
+	t.cur.Store(stripe(buckets, chains))
+	return t, nil
+}
+
+// stripe deals buckets out round-robin — the neutral assignment.
+func stripe(buckets, chains int) *view {
+	v := &view{assign: make([]int32, buckets), mask: uint64(buckets - 1), chains: chains}
+	for b := range v.assign {
+		v.assign[b] = int32(b % chains)
+	}
+	return v
+}
+
+// Steer maps a flow hash to its bucket and the chain that currently
+// owns it. One atomic load; no allocation.
+func (t *Table) Steer(hash uint64) (bucket, chain int) {
+	v := t.cur.Load()
+	b := hash & v.mask
+	return int(b), int(v.assign[b])
+}
+
+// Tick counts one packet against a bucket. Callers tick the bucket they
+// actually pushed, so the counters reflect delivered steering decisions.
+func (t *Table) Tick(bucket int) { t.counts[bucket].Add(1) }
+
+// Buckets reports the table size.
+func (t *Table) Buckets() int { return len(t.counts) }
+
+// Chains reports the chain count the current view steers across.
+func (t *Table) Chains() int { return t.cur.Load().chains }
+
+// Generation reports how many rewrites have been published.
+func (t *Table) Generation() uint64 { return t.gen.Load() }
+
+// Steers reports how many re-steer events (Apply calls) have landed.
+func (t *Table) Steers() uint64 { return t.steers.Load() }
+
+// Moved reports the total buckets moved across all re-steer events.
+func (t *Table) Moved() uint64 { return t.moved.Load() }
+
+// Assignments snapshots the current bucket→chain map.
+func (t *Table) Assignments() []int {
+	v := t.cur.Load()
+	out := make([]int, len(v.assign))
+	for b, c := range v.assign {
+		out[b] = int(c)
+	}
+	return out
+}
+
+// Counts snapshots the per-bucket packet counters.
+func (t *Table) Counts() []uint64 {
+	out := make([]uint64, len(t.counts))
+	for b := range t.counts {
+		out[b] = t.counts[b].Load()
+	}
+	return out
+}
+
+// Move reassigns one bucket from its current owner to another chain.
+type Move struct {
+	Bucket int `json:"bucket"`
+	From   int `json:"from"`
+	To     int `json:"to"`
+}
+
+// Apply validates the moves against the current view and publishes one
+// rewrite containing all of them. A move whose From does not match the
+// bucket's current owner is stale — the whole batch is rejected so the
+// caller re-plans against fresh state rather than half-applying.
+func (t *Table) Apply(moves []Move) error {
+	if len(moves) == 0 {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := t.cur.Load()
+	next := &view{assign: append([]int32(nil), old.assign...), mask: old.mask, chains: old.chains}
+	for _, m := range moves {
+		if m.Bucket < 0 || m.Bucket >= len(next.assign) {
+			return fmt.Errorf("rss: bucket %d out of range [0,%d)", m.Bucket, len(next.assign))
+		}
+		if m.To < 0 || m.To >= next.chains {
+			return fmt.Errorf("rss: chain %d out of range [0,%d)", m.To, next.chains)
+		}
+		if int(next.assign[m.Bucket]) != m.From {
+			return fmt.Errorf("rss: stale move: bucket %d owned by chain %d, not %d",
+				m.Bucket, next.assign[m.Bucket], m.From)
+		}
+		next.assign[m.Bucket] = int32(m.To)
+	}
+	t.cur.Store(next)
+	t.gen.Add(1)
+	t.steers.Add(1)
+	t.moved.Add(uint64(len(moves)))
+	return nil
+}
+
+// Restripe resets the table to the neutral round-robin assignment over
+// a (possibly new) chain count — the move a replan makes when the plan
+// width changes and old chain indexes stop meaning anything.
+func (t *Table) Restripe(chains int) error {
+	if chains < 1 {
+		return fmt.Errorf("rss: need at least one chain, got %d", chains)
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cur.Store(stripe(len(t.counts), chains))
+	t.gen.Add(1)
+	return nil
+}

@@ -57,6 +57,22 @@ type RingSnapshot struct {
 	Rejected uint64  `json:"rejected"`
 }
 
+// RSSSnapshot is the flow-steering indirection table's state: the
+// bucket→chain assignment gauge, per-bucket steered-packet counters,
+// and the table's own generation (bumped per rewrite — independent of
+// the plan generation, because the table survives Reload/Replan the
+// way the FIB does). Steers counts table rewrites applied, Moved the
+// buckets those rewrites migrated.
+type RSSSnapshot struct {
+	Buckets     int      `json:"buckets"`
+	Chains      int      `json:"chains"`
+	Generation  uint64   `json:"generation"`
+	Steers      uint64   `json:"steers,omitempty"`
+	Moved       uint64   `json:"moved,omitempty"`
+	Assignments []int    `json:"assignments"`
+	Counts      []uint64 `json:"counts"`
+}
+
 // ElementSnapshot carries one graph element's exported counters
 // (harvested from the atomic Count/Packets/Bytes accessors elements
 // expose).
@@ -102,6 +118,12 @@ type Snapshot struct {
 	// time. Unlike the plan counters it is process-global: it does not
 	// reset at generation boundaries.
 	Pool PoolSnapshot `json:"pool"`
+
+	// RSS is the flow-steering indirection table, when the pipeline
+	// steers by flow hash (PushFlow). Like the Pool its counters are
+	// pipeline-global monotonic: the table persists across plan
+	// generations rather than resetting with them.
+	RSS *RSSSnapshot `json:"rss,omitempty"`
 
 	CoreStats []CoreSnapshot    `json:"core_stats"`
 	Rings     []RingSnapshot    `json:"rings"`
@@ -182,6 +204,21 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	out.Pool.Hits = sub(s.Pool.Hits, prev.Pool.Hits)
 	out.Pool.Puts = sub(s.Pool.Puts, prev.Pool.Puts)
 	out.Pool.DoublePuts = sub(s.Pool.DoublePuts, prev.Pool.DoublePuts)
+
+	// RSS bucket counters are table-global monotonic; the assignment and
+	// the table generation are gauges. A table resized between snapshots
+	// (Buckets mismatch) restarted its counter array — keep the current
+	// cumulative values, as with a generation change.
+	if s.RSS != nil && prev.RSS != nil && s.RSS.Buckets == prev.RSS.Buckets {
+		r := *s.RSS
+		r.Steers = sub(s.RSS.Steers, prev.RSS.Steers)
+		r.Moved = sub(s.RSS.Moved, prev.RSS.Moved)
+		r.Counts = make([]uint64, len(s.RSS.Counts))
+		for i := range r.Counts {
+			r.Counts[i] = sub(s.RSS.Counts[i], prev.RSS.Counts[i])
+		}
+		out.RSS = &r
+	}
 
 	out.Rings = make([]RingSnapshot, len(s.Rings))
 	copy(out.Rings, s.Rings)

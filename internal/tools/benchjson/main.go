@@ -14,6 +14,13 @@
 // a placement must show up as a reviewed BENCH_placement.json update,
 // never silently.
 //
+// The same treatment covers the controller's other actuator: a
+// "steering" section records the bucket migrations rss.PlanMoves
+// decides for pinned synthetic load shapes (flat, and eight elephant
+// buckets on one chain), and the baseline diff fails when those moves
+// change for an unchanged shape — a re-steer policy change must be a
+// reviewed baseline update too.
+//
 // Two throughput gates run over the parsed benchmarks: the scaling-cliff
 // check (-monotone-tol) on the parallel Mpps curve, and the
 // churn-regression check (-churn-tol) comparing BenchmarkChurn's
@@ -42,6 +49,7 @@ import (
 	"routebricks/internal/elements"
 	"routebricks/internal/lpm"
 	"routebricks/internal/pkt"
+	"routebricks/internal/rss"
 )
 
 // benchResult is one parsed `Benchmark...` output line.
@@ -71,9 +79,33 @@ type calResult struct {
 	Candidates []routebricks.CalibrationResult `json:"candidates"`
 }
 
+// steerInputs pins every input a re-steer decision depends on: the
+// indirection-table geometry, the controller's move cap, and the name
+// of the synthetic per-bucket load shape (steerLoad generates it
+// deterministically). rss.PlanMoves is a pure function, so two entries
+// with equal inputs must decide the same moves on any machine — the
+// invariant the -baseline check enforces, exactly as for placement.
+type steerInputs struct {
+	Buckets  int    `json:"buckets"`
+	Chains   int    `json:"chains"`
+	MaxMoves int    `json:"max_moves"`
+	Load     string `json:"load"`
+}
+
+// steerResult is one rss.PlanMoves decision under pinned inputs: the
+// moves it chose and the max/mean chain imbalance before and after
+// applying them.
+type steerResult struct {
+	Inputs          steerInputs `json:"inputs"`
+	ImbalanceBefore float64     `json:"imbalance_before"`
+	ImbalanceAfter  float64     `json:"imbalance_after"`
+	Moves           []rss.Move  `json:"moves"`
+}
+
 type output struct {
 	Benchmarks  []benchResult `json:"benchmarks"`
 	Calibration []calResult   `json:"calibration"`
+	Steering    []steerResult `json:"steering,omitempty"`
 }
 
 // parseBench extracts Benchmark lines: name, iteration count, then
@@ -331,10 +363,77 @@ func sweepInputs() []modelInputs {
 	return out
 }
 
-// checkBaseline fails when a decision changed while its inputs did
-// not. Entries the baseline has no matching inputs for (a new grid
-// point, or a pre-inputs file) are skipped.
-func checkBaseline(path string, cur []calResult) error {
+// steerLoad builds the named synthetic per-bucket load over the
+// round-robin assignment a fresh table starts with. Deterministic by
+// construction: the same name and geometry always yield the same
+// vectors, which is what lets the baseline diff treat the decided moves
+// as a pure function of steerInputs.
+func steerLoad(name string, buckets, chains int) (assign []int, load []uint64, err error) {
+	assign = make([]int, buckets)
+	for b := range assign {
+		assign[b] = b % chains
+	}
+	load = make([]uint64, buckets)
+	switch name {
+	case "uniform":
+		// Flat load: the planner must decide there is nothing to move.
+		for b := range load {
+			load[b] = 100
+		}
+	case "hot-chain0":
+		// Eight elephant buckets, all owned by chain 0 — the shape the
+		// controller's re-steer exists for.
+		for b := range load {
+			load[b] = 10
+		}
+		for i := 0; i < 8; i++ {
+			load[i*chains] = 1000
+		}
+	default:
+		return nil, nil, fmt.Errorf("unknown steer load %q", name)
+	}
+	return assign, load, nil
+}
+
+// decideSteer runs one pinned re-steer decision: PlanMoves over the
+// synthetic load, imbalance measured before and after the moves apply.
+func decideSteer(in steerInputs) (steerResult, error) {
+	assign, load, err := steerLoad(in.Load, in.Buckets, in.Chains)
+	if err != nil {
+		return steerResult{}, err
+	}
+	before := rss.Imbalance(assign, load, in.Chains)
+	moves := rss.PlanMoves(assign, load, in.Chains, in.MaxMoves)
+	after := append([]int(nil), assign...)
+	for _, m := range moves {
+		after[m.Bucket] = m.To
+	}
+	return steerResult{
+		Inputs:          in,
+		ImbalanceBefore: before,
+		ImbalanceAfter:  rss.Imbalance(after, load, in.Chains),
+		Moves:           moves,
+	}, nil
+}
+
+// steerSweep is the pinned re-steer grid: each multi-chain width the
+// placement sweep covers, under a flat load and the hot-chain skew,
+// with the controller's default move cap.
+func steerSweep() []steerInputs {
+	var out []steerInputs
+	for _, chains := range []int{2, 4, 8} {
+		for _, load := range []string{"uniform", "hot-chain0"} {
+			out = append(out, steerInputs{Buckets: rss.DefaultBuckets, Chains: chains, MaxMoves: 8, Load: load})
+		}
+	}
+	return out
+}
+
+// checkBaseline fails when a decision — Auto's placement pick or
+// PlanMoves' bucket migration — changed while its inputs did not.
+// Entries the baseline has no matching inputs for (a new grid point, or
+// a pre-inputs file) are skipped.
+func checkBaseline(path string, cur []calResult, steer []steerResult) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return nil // no baseline yet: nothing to diff against
@@ -353,6 +452,18 @@ func checkBaseline(path string, cur []calResult) error {
 		if was, ok := prev[c.Inputs]; ok && was != c.Picked {
 			return fmt.Errorf("placement decision changed for inputs %+v: %s -> %s with unchanged cost-model inputs (if intentional, commit the regenerated %s)",
 				c.Inputs, was, c.Picked, path)
+		}
+	}
+	prevSteer := make(map[steerInputs]string, len(base.Steering))
+	for _, s := range base.Steering {
+		if s.Inputs != (steerInputs{}) {
+			prevSteer[s.Inputs] = fmt.Sprint(s.Moves)
+		}
+	}
+	for _, s := range steer {
+		if was, ok := prevSteer[s.Inputs]; ok && was != fmt.Sprint(s.Moves) {
+			return fmt.Errorf("re-steer decision changed for inputs %+v: %s -> %s with unchanged load shape (if intentional, commit the regenerated %s)",
+				s.Inputs, was, fmt.Sprint(s.Moves), path)
 		}
 	}
 	return nil
@@ -389,13 +500,20 @@ func run() error {
 		}
 		doc.Calibration = append(doc.Calibration, c)
 	}
+	for _, in := range steerSweep() {
+		s, err := decideSteer(in)
+		if err != nil {
+			return fmt.Errorf("steer %+v: %w", in, err)
+		}
+		doc.Steering = append(doc.Steering, s)
+	}
 	// Diff before overwriting (the baseline is usually the same file),
 	// but always write the regenerated document: a flagged decision
 	// change or scaling cliff still fails the run, and the written file
 	// is exactly what the operator reviews and commits to accept it.
 	diffErr := error(nil)
 	if *basePath != "" {
-		diffErr = checkBaseline(*basePath, doc.Calibration)
+		diffErr = checkBaseline(*basePath, doc.Calibration, doc.Steering)
 	}
 	raw, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"routebricks/internal/elements"
 	"routebricks/internal/exec"
 	"routebricks/internal/pkt"
+	"routebricks/internal/rss"
 	"routebricks/internal/stats"
 )
 
@@ -325,6 +326,14 @@ type Pipeline struct {
 	// because the old graph would not drain them (a wedged terminal);
 	// they are accounted in Drops and the Snapshot.
 	drainDrops atomic.Uint64
+
+	// rssTable is the flow-steering indirection table behind PushFlow.
+	// Like the FIB it outlives plan generations — a Reload/Replan
+	// restripes it only when the chain count changes, so controller
+	// re-steers survive swaps that keep the plan's width. Reads race
+	// only with its own RCU swap; the chain indexes it yields are kept
+	// in range by restriping inside the reload's exclusive section.
+	rssTable *rss.Table
 }
 
 // Load parses a Click-language configuration and materializes it across
@@ -348,12 +357,17 @@ func Load(clickText string, opts Options) (*Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	table, err := rss.New(0, plan.Chains())
+	if err != nil {
+		return nil, err
+	}
 	return &Pipeline{
 		plan:     plan,
 		text:     clickText,
 		opts:     decided,
 		decision: decision,
 		calib:    calib,
+		rssTable: table,
 	}, nil
 }
 
@@ -427,6 +441,11 @@ func planConfig(prog *click.Program, opts Options, kind PlanKind, segWeights []f
 		Steal:      opts.Steal,
 		StealMin:   opts.StealMin,
 		SegWeights: segWeights,
+		// The pipeline always carries a flow-steering table (PushFlow),
+		// so cloned per-flow elements are safe by construction. NewPlan
+		// still rejects Steal × PerFlow — stealing breaks the affinity
+		// the table provides.
+		FlowSteered: true,
 	}
 }
 
