@@ -36,7 +36,7 @@ bench:
 # target (a pipe would return tee's status, not go test's).
 BENCH_OUT ?= bench-smoke.txt
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkDispatch|BenchmarkServerModel|BenchmarkPlacement|BenchmarkHandoff|BenchmarkPool|BenchmarkChurn|BenchmarkSteer' -benchmem -benchtime 100x . > $(BENCH_OUT) 2>&1; \
+	$(GO) test -run '^$$' -bench 'BenchmarkDispatch|BenchmarkServerModel|BenchmarkPlacement|BenchmarkHandoff|BenchmarkPool|BenchmarkChurn|BenchmarkSteer|BenchmarkWireIO' -benchmem -benchtime 100x . > $(BENCH_OUT) 2>&1; \
 	status=$$?; cat $(BENCH_OUT); exit $$status
 
 # Machine-readable perf trajectory: the BenchmarkPlacement sweep and
@@ -53,16 +53,24 @@ bench-smoke:
 # best run per benchmark — because a 100-iteration sweep measures
 # startup, and a single run on shared hardware measures the neighbors.
 # Churn runs deeper than the placement sweep so several paced FIB
-# commits land inside each timed window.
+# commits land inside each timed window. The wire sweep (BenchmarkWireIO:
+# mmsg vs per-packet fallback × batch sizes over loopback, plus the
+# time-interleaved ratio runs) feeds the benchjson -wire-tol gate —
+# the interleaved mmsg-over-fallback speedup (xfall) at batch 32 must
+# hold at least WIRE_TOL.
 BENCH_JSON ?= BENCH_placement.json
 PLACEMENT_OUT ?= placement-bench.txt
 BENCH_ITERS ?= 200000x
 CHURN_ITERS ?= 1000000x
+WIRE_SECS ?= 1s
 BENCH_REPEAT ?= 3
+WIRE_TOL ?= 1.0
 bench-json:
 	$(GO) test -run '^$$' -bench BenchmarkPlacement -benchmem -benchtime $(BENCH_ITERS) -count $(BENCH_REPEAT) . > $(PLACEMENT_OUT) 2>&1; \
 	status=$$?; [ $$status -eq 0 ] || { cat $(PLACEMENT_OUT); exit $$status; }
 	$(GO) test -run '^$$' -bench BenchmarkChurn -benchmem -benchtime $(CHURN_ITERS) -count $(BENCH_REPEAT) . >> $(PLACEMENT_OUT) 2>&1; \
+	status=$$?; [ $$status -eq 0 ] || { cat $(PLACEMENT_OUT); exit $$status; }
+	$(GO) test -run '^$$' -bench BenchmarkWireIO -benchmem -benchtime $(WIRE_SECS) -count $(BENCH_REPEAT) . >> $(PLACEMENT_OUT) 2>&1; \
 	status=$$?; cat $(PLACEMENT_OUT); [ $$status -eq 0 ] || exit $$status
-	$(GO) run ./internal/tools/benchjson -bench $(PLACEMENT_OUT) -baseline $(BENCH_JSON) -out $(BENCH_JSON)
+	$(GO) run ./internal/tools/benchjson -bench $(PLACEMENT_OUT) -baseline $(BENCH_JSON) -out $(BENCH_JSON) -wire-tol $(WIRE_TOL)
 	@echo wrote $(BENCH_JSON)

@@ -23,6 +23,8 @@ import (
 
 	"routebricks/internal/cluster"
 	"routebricks/internal/mesh"
+	"routebricks/internal/netio"
+	"routebricks/internal/pkt"
 	"routebricks/internal/stats"
 	"routebricks/internal/trafficgen"
 )
@@ -184,17 +186,39 @@ func (l *launcher) inject(packets, rate int) (int, error) {
 		rate = 20000
 	}
 	interval := time.Second / time.Duration(rate)
+	// Frames go out in 8-frame bursts matching the pacing granularity —
+	// one sendmmsg per burst on the fast path, with a destination per
+	// frame (WriteScatter), so a burst spanning several entry members
+	// still costs one syscall.
+	w := netio.NewBatchWriter(conn, netio.Config{})
+	burst := make([]*pkt.Packet, 0, 8)
+	dests := make([]*net.UDPAddr, 0, 8)
 	sent := 0
+	flush := func() error {
+		if len(burst) == 0 {
+			return nil
+		}
+		n, err := w.WriteScatter(burst, dests)
+		sent += n
+		for _, p := range burst {
+			pkt.DefaultPool.Put(p) // the kernel copied at syscall time
+		}
+		burst, dests = burst[:0], dests[:0]
+		return err
+	}
 	for i := 0; i < packets; i++ {
 		p := src.Next()
-		in := ext[int(p.IPv4().SrcUint32())%len(ext)]
-		if _, err := conn.WriteToUDP(p.Data, in); err != nil {
-			return sent, err
-		}
-		sent++
+		burst = append(burst, p)
+		dests = append(dests, ext[int(p.IPv4().SrcUint32())%len(ext)])
 		if i%8 == 7 {
+			if err := flush(); err != nil {
+				return sent, err
+			}
 			time.Sleep(8 * interval)
 		}
+	}
+	if err := flush(); err != nil {
+		return sent, err
 	}
 	return sent, nil
 }

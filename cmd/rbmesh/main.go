@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"routebricks/internal/mesh"
+	"routebricks/internal/netio"
 	"routebricks/internal/pkt"
 )
 
@@ -155,22 +156,30 @@ func (l *launcher) stopAll(timeout time.Duration) {
 
 // runCollector counts egress deliveries per destination-owning node:
 // the dst address's second octet under the 10.d.0.0/16 convention.
+// Frames arrive in batches straight into pool buffers (one recvmmsg per
+// batch on the fast path) and the ledger lock is taken once per batch,
+// not once per frame. The reader blocks with no deadline; closing the
+// sink socket at shutdown wakes and ends it.
 func (l *launcher) runCollector() {
-	buf := make([]byte, 2048)
+	shard := pkt.DefaultPool.Shard(0)
+	rd := netio.NewBatchReader(l.sink, netio.Config{Shard: shard})
+	defer rd.Release()
+	batch := pkt.NewBatch(32)
 	for {
-		k, _, err := l.sink.ReadFromUDP(buf)
-		if err != nil {
+		batch.Reset()
+		if _, err := rd.ReadBatch(batch); err != nil {
 			return // socket closed: shutdown
 		}
-		if k < pkt.EtherHdrLen+pkt.IPv4HdrLen {
-			continue
-		}
-		p := pkt.Packet{Data: buf[:k]}
-		dst := p.IPv4().DstUint32()
 		l.collMu.Lock()
-		l.received++
-		l.byNode[int(dst>>16)&0xFF]++
+		for _, p := range batch.Packets() {
+			if len(p.Data) >= pkt.EtherHdrLen+pkt.IPv4HdrLen {
+				dst := p.IPv4().DstUint32()
+				l.received++
+				l.byNode[int(dst>>16)&0xFF]++
+			}
+		}
 		l.collMu.Unlock()
+		shard.PutBatch(batch)
 	}
 }
 
@@ -212,6 +221,8 @@ func run() error {
 		flowlets  = flag.Bool("flowlets", true, "flowlet reordering avoidance (passed through)")
 		heartbeat = flag.Int("heartbeat-ms", 0, "heartbeat interval override for a generated topology")
 		deadAfter = flag.Int("dead-ms", 0, "dead-after override for a generated topology")
+		rxQueues  = flag.Int("rx-queues", 1, "SO_REUSEPORT receive queues per member ingress port (passed through)")
+		wireFall  = flag.Bool("wire-fallback", false, "force the per-packet syscall path in members (passed through)")
 	)
 	flag.Parse()
 
@@ -263,6 +274,8 @@ func run() error {
 			"-cores", fmt.Sprint(*cores),
 			"-placement", *placement,
 			fmt.Sprintf("-flowlets=%v", *flowlets),
+			"-rx-queues", fmt.Sprint(*rxQueues),
+			fmt.Sprintf("-wire-fallback=%v", *wireFall),
 		},
 		sink:   sink,
 		byNode: make(map[int]uint64),

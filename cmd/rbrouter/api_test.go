@@ -26,7 +26,7 @@ func apiFixture(t *testing.T) (*httptest.Server, *routebricks.RouteAdmin, *int) 
 	}
 	nodes := make([]*node, 2)
 	for i := range nodes {
-		nd, err := newNode(i, len(nodes), fib, defaultConfig, true, 1, click.Parallel, false)
+		nd, err := newNode(i, len(nodes), fib, defaultConfig, true, 1, click.Parallel, false, wireConfig{rxQueues: 1})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,7 +195,7 @@ func TestAdminAPIRSS(t *testing.T) {
 	}
 	nodes := make([]*node, 2)
 	for i := range nodes {
-		nd, err := newNode(i, len(nodes), fib, defaultConfig, true, 2, click.Parallel, false)
+		nd, err := newNode(i, len(nodes), fib, defaultConfig, true, 2, click.Parallel, false, wireConfig{rxQueues: 1})
 		if err != nil {
 			t.Fatal(err)
 		}

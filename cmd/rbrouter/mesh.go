@@ -30,9 +30,10 @@ import (
 	"routebricks/internal/click"
 	"routebricks/internal/cluster"
 	"routebricks/internal/mesh"
+	"routebricks/internal/netio"
 )
 
-func runMesh(path string, self int, cfgText string, flowlets bool, cores int, kind click.PlanKind, autoPlace, steal bool) error {
+func runMesh(path string, self int, cfgText string, flowlets bool, cores int, kind click.PlanKind, autoPlace, steal bool, wire wireConfig) error {
 	topo, err := mesh.LoadTopology(path)
 	if err != nil {
 		return err
@@ -70,16 +71,18 @@ func runMesh(path string, self int, cfgText string, flowlets bool, cores int, ki
 		}
 		return c, nil
 	}
-	ext, err := bind("ext", me.Ext)
+	// The external port binds as one socket or as -rx-queues SO_REUSEPORT
+	// siblings — kernel-hashed receive queues on the member's line port.
+	exts, err := netio.ListenReusePort("udp4", me.Ext, wire.rxQueues)
 	if err != nil {
-		return err
+		return fmt.Errorf("bind ext %s: %w", me.Ext, err)
 	}
 	data, err := bind("data", me.Data)
 	if err != nil {
 		return err
 	}
 
-	nd, err := newNodeOnConns(self, n, ext, data, fib, cfgText, flowlets, cores, kind, steal)
+	nd, err := newNodeOnConns(self, n, exts, data, fib, cfgText, flowlets, cores, kind, steal, wire)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,60 @@
+//go:build linux
+
+package netio
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT, absent from the frozen syscall package
+// (it predates the option's addition in Linux 3.9).
+const soReusePort = 0xf
+
+// reusePortConfig sets SO_REUSEPORT before bind on every socket —
+// including the first: the kernel only admits a second bind to the
+// port if the first socket also carried the option.
+var reusePortConfig = net.ListenConfig{
+	Control: func(network, address string, c syscall.RawConn) error {
+		var serr error
+		err := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		})
+		if err != nil {
+			return err
+		}
+		return serr
+	},
+}
+
+func listenReusePort(network, addr string, queues int) ([]*net.UDPConn, error) {
+	conns := make([]*net.UDPConn, 0, queues)
+	fail := func(err error) ([]*net.UDPConn, error) {
+		for _, c := range conns {
+			c.Close()
+		}
+		return nil, err
+	}
+	pc, err := reusePortConfig.ListenPacket(context.Background(), network, addr)
+	if err != nil {
+		return fail(err)
+	}
+	first, ok := pc.(*net.UDPConn)
+	if !ok {
+		pc.Close()
+		return fail(ErrNotSupported)
+	}
+	conns = append(conns, first)
+	// addr may have named port 0; the rest must join the port the
+	// kernel actually assigned.
+	bound := first.LocalAddr().String()
+	for len(conns) < queues {
+		pc, err := reusePortConfig.ListenPacket(context.Background(), network, bound)
+		if err != nil {
+			return fail(err)
+		}
+		conns = append(conns, pc.(*net.UDPConn))
+	}
+	return conns, nil
+}

@@ -1,0 +1,9 @@
+//go:build !linux
+
+package netio
+
+import "net"
+
+func listenReusePort(network, addr string, queues int) ([]*net.UDPConn, error) {
+	return nil, ErrNotSupported
+}

@@ -1,0 +1,8 @@
+//go:build linux && amd64
+
+package netio
+
+// The frozen syscall package on amd64 defines SYS_RECVMMSG but not
+// SYS_SENDMMSG (sendmmsg postdates the freeze); the number is ABI and
+// cannot change.
+const sysSendmmsg = 307

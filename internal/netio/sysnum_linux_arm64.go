@@ -1,0 +1,6 @@
+//go:build linux && arm64
+
+package netio
+
+// See sysnum_linux_amd64.go; arm64 uses the generic syscall table.
+const sysSendmmsg = 269

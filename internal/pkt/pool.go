@@ -170,6 +170,13 @@ func (s *PoolShard) Get(size int) *Packet {
 	return p
 }
 
+// GetRaw is Get without the zero fill, for callers that immediately
+// overwrite every byte — receive paths that hand the buffer to the
+// kernel, clones that copy over it.
+func (s *PoolShard) GetRaw(size int) *Packet {
+	return s.getRaw(size)
+}
+
 // getRaw is Get without the zero fill.
 func (s *PoolShard) getRaw(size int) *Packet {
 	s.gets.Add(1)

@@ -30,7 +30,11 @@ type NodeStats struct {
 }
 
 // NodeTotals is the cluster-wide sum of per-node counters — the shape
-// rbmesh reports as the aggregate forwarding ledger.
+// rbmesh reports as the aggregate forwarding ledger. The wire rx/tx
+// fields come from each node's Ingress.Wire snapshot (internal/netio
+// counters): they prove the mesh's sockets actually ran batched — mean
+// fill is WireRxFrames/WireRxBatches — and which syscall path carried
+// the traffic.
 type NodeTotals struct {
 	TransitPackets uint64 `json:"transit_packets"`
 	Forwarded      uint64 `json:"forwarded"`
@@ -41,6 +45,11 @@ type NodeTotals struct {
 	TxBatches      uint64 `json:"tx_batches"`
 	TxStalls       uint64 `json:"tx_stalls"`
 	TxDrained      uint64 `json:"tx_drained"`
+
+	WireRxBatches uint64 `json:"wire_rx_batches,omitempty"`
+	WireRxFrames  uint64 `json:"wire_rx_frames,omitempty"`
+	WireTxBatches uint64 `json:"wire_tx_batches,omitempty"`
+	WireTxFrames  uint64 `json:"wire_tx_frames,omitempty"`
 }
 
 // SumNodes folds per-node stats into cluster totals.
@@ -56,6 +65,12 @@ func SumNodes(nodes []NodeStats) NodeTotals {
 		t.TxBatches += n.TxBatches
 		t.TxStalls += n.TxStalls
 		t.TxDrained += n.TxDrained
+		if w := n.Ingress.Wire; w != nil {
+			t.WireRxBatches += w.RxBatches
+			t.WireRxFrames += w.RxFrames
+			t.WireTxBatches += w.TxBatches
+			t.WireTxFrames += w.TxFrames
+		}
 	}
 	return t
 }

@@ -73,6 +73,22 @@ type RSSSnapshot struct {
 	Counts      []uint64 `json:"counts"`
 }
 
+// WireSnapshot is the process's kernel wire-I/O health (internal/netio
+// readers and writers summed): which syscall path the sockets run
+// ("mmsg" or "fallback"), how many syscalls moved traffic, and how many
+// datagrams they moved — RxFrames/RxBatches and TxFrames/TxBatches are
+// the mean syscall fill, the number batching exists to raise above 1.
+// RxTruncated counts received datagrams clipped to the configured
+// maximum (detectable on the mmsg path only).
+type WireSnapshot struct {
+	Mode        string `json:"mode"`
+	RxBatches   uint64 `json:"rx_batches"`
+	RxFrames    uint64 `json:"rx_frames"`
+	RxTruncated uint64 `json:"rx_truncated,omitempty"`
+	TxBatches   uint64 `json:"tx_batches"`
+	TxFrames    uint64 `json:"tx_frames"`
+}
+
 // ElementSnapshot carries one graph element's exported counters
 // (harvested from the atomic Count/Packets/Bytes accessors elements
 // expose).
@@ -124,6 +140,12 @@ type Snapshot struct {
 	// pipeline-global monotonic: the table persists across plan
 	// generations rather than resetting with them.
 	RSS *RSSSnapshot `json:"rss,omitempty"`
+
+	// Wire is the kernel wire-I/O layer's counters, when the process
+	// runs sockets through internal/netio (cmd/rbrouter attaches it).
+	// Process-global monotonic, like Pool: it does not reset at plan
+	// generation boundaries.
+	Wire *WireSnapshot `json:"wire,omitempty"`
 
 	CoreStats []CoreSnapshot    `json:"core_stats"`
 	Rings     []RingSnapshot    `json:"rings"`
@@ -218,6 +240,17 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 			r.Counts[i] = sub(s.RSS.Counts[i], prev.RSS.Counts[i])
 		}
 		out.RSS = &r
+	}
+
+	// Wire counters are process-global monotonic; Mode is a gauge.
+	if s.Wire != nil && prev.Wire != nil {
+		w := *s.Wire
+		w.RxBatches = sub(s.Wire.RxBatches, prev.Wire.RxBatches)
+		w.RxFrames = sub(s.Wire.RxFrames, prev.Wire.RxFrames)
+		w.RxTruncated = sub(s.Wire.RxTruncated, prev.Wire.RxTruncated)
+		w.TxBatches = sub(s.Wire.TxBatches, prev.Wire.TxBatches)
+		w.TxFrames = sub(s.Wire.TxFrames, prev.Wire.TxFrames)
+		out.Wire = &w
 	}
 
 	out.Rings = make([]RingSnapshot, len(s.Rings))

@@ -58,6 +58,48 @@ func TestSnapshotDelta(t *testing.T) {
 	}
 }
 
+func TestSnapshotDeltaWire(t *testing.T) {
+	prev := sampleSnapshot(4, 1000, 10)
+	prev.Wire = &WireSnapshot{Mode: "mmsg", RxBatches: 10, RxFrames: 300, RxTruncated: 1, TxBatches: 8, TxFrames: 250}
+	cur := sampleSnapshot(4, 1600, 25)
+	cur.Wire = &WireSnapshot{Mode: "mmsg", RxBatches: 25, RxFrames: 800, RxTruncated: 3, TxBatches: 20, TxFrames: 640}
+	d := cur.Delta(prev)
+	if d.Wire == nil {
+		t.Fatal("Wire dropped by Delta")
+	}
+	if d.Wire.Mode != "mmsg" {
+		t.Errorf("Mode is a gauge, got %q", d.Wire.Mode)
+	}
+	if d.Wire.RxBatches != 15 || d.Wire.RxFrames != 500 || d.Wire.RxTruncated != 2 {
+		t.Errorf("rx wire deltas wrong: %+v", d.Wire)
+	}
+	if d.Wire.TxBatches != 12 || d.Wire.TxFrames != 390 {
+		t.Errorf("tx wire deltas wrong: %+v", d.Wire)
+	}
+	// One side missing → keep the cumulative view rather than invent a delta.
+	cur2 := sampleSnapshot(4, 1600, 25)
+	cur2.Wire = cur.Wire
+	d2 := cur2.Delta(sampleSnapshot(4, 1000, 10))
+	if d2.Wire == nil || d2.Wire.RxFrames != 800 {
+		t.Errorf("Delta with no prev.Wire should keep cumulative counters: %+v", d2.Wire)
+	}
+}
+
+func TestSumNodesWire(t *testing.T) {
+	nodes := []NodeStats{
+		{ID: 0, Egressed: 5, Ingress: Snapshot{Wire: &WireSnapshot{RxBatches: 4, RxFrames: 100, TxBatches: 3, TxFrames: 90}}},
+		{ID: 1, Egressed: 7, Ingress: Snapshot{Wire: &WireSnapshot{RxBatches: 6, RxFrames: 150, TxBatches: 5, TxFrames: 120}}},
+		{ID: 2, Egressed: 1}, // no wire block: contributes nothing
+	}
+	tot := SumNodes(nodes)
+	if tot.Egressed != 13 {
+		t.Errorf("Egressed = %d, want 13", tot.Egressed)
+	}
+	if tot.WireRxBatches != 10 || tot.WireRxFrames != 250 || tot.WireTxBatches != 8 || tot.WireTxFrames != 210 {
+		t.Errorf("wire totals wrong: %+v", tot)
+	}
+}
+
 func TestSnapshotDeltaGenerationBoundary(t *testing.T) {
 	prev := sampleSnapshot(4, 1000, 10)
 	cur := sampleSnapshot(5, 200, 2) // counters restarted after a reload

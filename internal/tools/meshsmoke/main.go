@@ -36,8 +36,12 @@ type clusterView struct {
 	Running   int  `json:"running"`
 	Converged bool `json:"converged"`
 	Totals    struct {
-		Egressed  uint64 `json:"egressed"`
-		TxDrained uint64 `json:"tx_drained"`
+		Egressed      uint64 `json:"egressed"`
+		TxDrained     uint64 `json:"tx_drained"`
+		WireRxBatches uint64 `json:"wire_rx_batches"`
+		WireRxFrames  uint64 `json:"wire_rx_frames"`
+		WireTxBatches uint64 `json:"wire_tx_batches"`
+		WireTxFrames  uint64 `json:"wire_tx_frames"`
 	} `json:"totals"`
 	Collector struct {
 		Received uint64            `json:"received"`
@@ -156,6 +160,22 @@ func run() error {
 		return fmt.Errorf("phase 1 (traffic): %w", err)
 	}
 	fmt.Printf("meshsmoke: full mesh delivered %d/%d\n", ledger, 2000)
+
+	// The traffic above moved through the members' batched wire-I/O
+	// layer: every socket read and write accounts a batch, so all four
+	// counters must be live after 2000 delivered frames.
+	v0, err := getCluster()
+	if err != nil {
+		return fmt.Errorf("phase 1 (wire counters): %w", err)
+	}
+	t := v0.Totals
+	if t.WireRxBatches == 0 || t.WireRxFrames == 0 || t.WireTxBatches == 0 || t.WireTxFrames == 0 {
+		return fmt.Errorf("phase 1: wire I/O counters not live (rx %d/%d, tx %d/%d)",
+			t.WireRxFrames, t.WireRxBatches, t.WireTxFrames, t.WireTxBatches)
+	}
+	fmt.Printf("meshsmoke: wire I/O live — rx %d frames / %d batches (fill %.1f), tx %d frames / %d batches (fill %.1f)\n",
+		t.WireRxFrames, t.WireRxBatches, float64(t.WireRxFrames)/float64(t.WireRxBatches),
+		t.WireTxFrames, t.WireTxBatches, float64(t.WireTxFrames)/float64(t.WireTxBatches))
 
 	// Phase 2: kill one member; survivors must declare it dead and
 	// re-stripe (converged == every survivor's view matches reality).

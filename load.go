@@ -327,6 +327,10 @@ type Pipeline struct {
 	// they are accounted in Drops and the Snapshot.
 	drainDrops atomic.Uint64
 
+	// flowMu serializes PushFlowShared producers; PushFlow bypasses it
+	// (single producer needs no serialization).
+	flowMu sync.Mutex
+
 	// rssTable is the flow-steering indirection table behind PushFlow.
 	// Like the FIB it outlives plan generations — a Reload/Replan
 	// restripes it only when the chain count changes, so controller
